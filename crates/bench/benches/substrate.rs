@@ -1,0 +1,108 @@
+//! Performance benchmarks of the simulator substrates themselves: event
+//! throughput, cache access rate, routing table construction, network
+//! events per second. These are about the *simulator's* speed — what an
+//! adopter sizing a bigger study cares about.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use alphasim::cache::{Addr, CacheGeometry, SetAssocCache};
+use alphasim::coherence::{AccessKind, Directory};
+use alphasim::kernel::{DetRng, EventQueue, SimTime};
+use alphasim::mem::{Zbox, ZboxConfig};
+use alphasim::net::{LinkTiming, MessageClass, NetworkSim};
+use alphasim::topology::route::{RoutePolicy, Routes};
+use alphasim::topology::{NodeId, Torus2D};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = DetRng::seeded(1);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ps(rng.bits() % 1_000_000_000), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("l2_cache_10k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(CacheGeometry::ev7_l2());
+            let mut rng = DetRng::seeded(2);
+            for _ in 0..10_000 {
+                cache.access(Addr::new(rng.bits() % (8 << 20)));
+            }
+            black_box(cache.misses())
+        })
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("zbox_10k_accesses", |b| {
+        b.iter(|| {
+            let mut z = Zbox::new(ZboxConfig::ev7());
+            let mut now = SimTime::ZERO;
+            let mut rng = DetRng::seeded(3);
+            for _ in 0..10_000 {
+                now = z.access(now, Addr::new(rng.bits() % (1 << 30)), 64).completed;
+            }
+            black_box(z.accesses())
+        })
+    });
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("directory_10k_random_ops", |b| {
+        b.iter(|| {
+            let mut dir = Directory::new();
+            let mut rng = DetRng::seeded(4);
+            for _ in 0..10_000 {
+                let cpu = rng.index(64);
+                let line = rng.bits() % 4096;
+                let kind = if rng.chance(0.3) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                dir.access((line % 64) as usize, cpu, line, kind);
+            }
+            black_box(dir.stats().writes)
+        })
+    });
+
+    g.bench_function("routes_8x8_minimal", |b| {
+        b.iter(|| black_box(Routes::compute(&Torus2D::new(8, 8), RoutePolicy::Minimal)))
+    });
+
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("network_1k_messages_8x8", |b| {
+        b.iter(|| {
+            let mut net = NetworkSim::new(Torus2D::new(8, 8), LinkTiming::ev7_torus());
+            let mut rng = DetRng::seeded(5);
+            for i in 0..1_000u64 {
+                let src = rng.index(64);
+                let dst = rng.index_excluding(64, src);
+                net.send(
+                    SimTime::ZERO,
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    MessageClass::Request,
+                    80,
+                    i,
+                );
+            }
+            net.drain();
+            black_box(net.delivered_count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

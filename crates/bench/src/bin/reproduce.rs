@@ -1,0 +1,52 @@
+//! Regenerate every figure and table of the paper.
+//!
+//! ```text
+//! reproduce [--quick] [--json DIR] [fig15 fig28 ...]
+//! ```
+//!
+//! With no figure arguments, everything is regenerated in paper order and
+//! printed as text; `--json DIR` additionally writes one JSON file per
+//! artifact (EXPERIMENTS.md is generated from these).
+
+use std::io::Write;
+
+use alphasim_bench::{run_all, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let wanted: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != json_dir.as_deref())
+        .collect();
+
+    let effort = if quick { Effort::Quick } else { Effort::Full };
+    eprintln!("regenerating all experiments ({effort:?}) ...");
+    let artifacts = run_all(effort);
+
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+    let mut stdout = std::io::stdout().lock();
+    for a in &artifacts {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == a.id()) {
+            continue;
+        }
+        writeln!(stdout, "{}", a.to_text()).expect("write stdout");
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{}.json", a.id());
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(&a.to_json()).expect("serialise"),
+            )
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        }
+    }
+    eprintln!("done: {} artifacts", artifacts.len());
+}

@@ -1,0 +1,173 @@
+//! The EV7's bound on outstanding misses.
+//!
+//! The 21364 provides 16 victim buffers from L1 to L2 and from L2 to memory
+//! (paper §2); together with the miss-address file this caps the
+//! memory-level parallelism one CPU can expose. The streaming-bandwidth
+//! experiments (STREAM, Figs. 6–7) are shaped by this limit: sustained
+//! bandwidth ≈ outstanding-lines × line-size / round-trip-latency, clamped
+//! by the controller peak.
+
+use alphasim_kernel::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Tracks in-flight misses against a fixed buffer budget.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_cache::MissTracker;
+/// use alphasim_kernel::{SimTime, SimDuration};
+///
+/// let mut t = MissTracker::new(16);
+/// let now = SimTime::ZERO;
+/// let done = now + SimDuration::from_ns(83.0);
+/// assert!(t.try_issue(now, done));
+/// assert_eq!(t.in_flight(now), 1);
+/// assert_eq!(t.in_flight(done), 0); // completed by then
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MissTracker {
+    capacity: usize,
+    /// Completion times of in-flight misses (unsorted).
+    completions: Vec<SimTime>,
+    issued: u64,
+    rejected: u64,
+}
+
+impl MissTracker {
+    /// The EV7's victim-buffer count.
+    pub const EV7_VICTIM_BUFFERS: usize = 16;
+
+    /// A tracker allowing up to `capacity` concurrent misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "need at least one buffer");
+        MissTracker {
+            capacity,
+            completions: Vec::with_capacity(capacity),
+            issued: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The buffer budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop records of misses that completed at or before `now`.
+    fn retire(&mut self, now: SimTime) {
+        self.completions.retain(|&c| c > now);
+    }
+
+    /// Misses still outstanding at `now`.
+    pub fn in_flight(&mut self, now: SimTime) -> usize {
+        self.retire(now);
+        self.completions.len()
+    }
+
+    /// Try to issue a miss at `now` completing at `done`; `false` (and a
+    /// rejection count) if all buffers are occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `done < now`.
+    pub fn try_issue(&mut self, now: SimTime, done: SimTime) -> bool {
+        assert!(done >= now, "completion before issue");
+        self.retire(now);
+        if self.completions.len() >= self.capacity {
+            self.rejected += 1;
+            return false;
+        }
+        self.completions.push(done);
+        self.issued += 1;
+        true
+    }
+
+    /// Earliest time a buffer frees up (valid when full at `now`).
+    pub fn next_free(&mut self, now: SimTime) -> SimTime {
+        self.retire(now);
+        self.completions.iter().copied().min().unwrap_or(now)
+    }
+
+    /// Total misses issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Issue attempts rejected for lack of buffers.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Steady-state bandwidth (bytes/s) achievable with this tracker when
+    /// each miss moves `line_bytes` and takes `round_trip`:
+    /// Little's law, `capacity × line / latency`.
+    pub fn streaming_bandwidth_gbps(&self, line_bytes: u64, round_trip: SimDuration) -> f64 {
+        let per_miss_secs = round_trip.as_secs();
+        if per_miss_secs == 0.0 {
+            return f64::INFINITY;
+        }
+        self.capacity as f64 * line_bytes as f64 / per_miss_secs / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn fills_to_capacity_then_rejects() {
+        let mut mt = MissTracker::new(4);
+        for i in 0..4 {
+            assert!(mt.try_issue(t(0.0), t(100.0 + i as f64)));
+        }
+        assert!(!mt.try_issue(t(0.0), t(100.0)));
+        assert_eq!(mt.rejected(), 1);
+        assert_eq!(mt.issued(), 4);
+    }
+
+    #[test]
+    fn completion_frees_buffers() {
+        let mut mt = MissTracker::new(2);
+        assert!(mt.try_issue(t(0.0), t(50.0)));
+        assert!(mt.try_issue(t(0.0), t(80.0)));
+        assert!(!mt.try_issue(t(10.0), t(90.0)));
+        // At 50ns the first miss retires.
+        assert!(mt.try_issue(t(50.0), t(120.0)));
+        assert_eq!(mt.in_flight(t(50.0)), 2);
+        assert_eq!(mt.in_flight(t(200.0)), 0);
+    }
+
+    #[test]
+    fn next_free_is_earliest_completion() {
+        let mut mt = MissTracker::new(2);
+        mt.try_issue(t(0.0), t(70.0));
+        mt.try_issue(t(0.0), t(30.0));
+        assert_eq!(mt.next_free(t(0.0)), t(30.0));
+        assert_eq!(mt.next_free(t(40.0)), t(70.0));
+    }
+
+    #[test]
+    fn littles_law_bandwidth() {
+        let mt = MissTracker::new(16);
+        // 16 x 64B / 83ns = 12.3 GB/s — not coincidentally the EV7's
+        // victim buffering roughly covers its local memory latency.
+        let bw = mt.streaming_bandwidth_gbps(64, SimDuration::from_ns(83.0));
+        assert!((bw - 12.337).abs() < 0.01, "got {bw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "completion before issue")]
+    fn rejects_time_travel() {
+        let mut mt = MissTracker::new(1);
+        mt.try_issue(t(10.0), t(5.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the cache models.
+
+use alphasim_cache::{Addr, CacheGeometry, CacheHierarchy, HierarchyConfig, SetAssocCache};
+use alphasim_kernel::SimDuration;
+use proptest::prelude::*;
+
+fn small_geometry() -> impl Strategy<Value = CacheGeometry> {
+    // sets in {1,2,4,8,16}, ways 1..=8, 64B lines.
+    (0u32..5, 1u32..=8).prop_map(|(s, w)| {
+        let sets = 1u64 << s;
+        CacheGeometry::new(sets * u64::from(w) * 64, 64, w)
+    })
+}
+
+proptest! {
+    /// Resident lines never exceed capacity, and a hit is always reported
+    /// for the line just accessed.
+    #[test]
+    fn capacity_invariant(geometry in small_geometry(),
+                          addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut c = SetAssocCache::new(geometry);
+        let lines = (geometry.size_bytes() / geometry.line_bytes()) as usize;
+        for &a in &addrs {
+            let a = Addr::new(a);
+            c.access(a);
+            prop_assert!(c.probe(a), "just-accessed line must be resident");
+            prop_assert!(c.resident_lines() <= lines);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    /// Accessing the same line twice in a row always hits the second time.
+    #[test]
+    fn immediate_rereference_hits(geometry in small_geometry(), a in 0u64..1_000_000) {
+        let mut c = SetAssocCache::new(geometry);
+        c.access(Addr::new(a));
+        prop_assert!(c.access(Addr::new(a)).hit);
+    }
+
+    /// A working set no larger than one set's ways never misses after the
+    /// first pass, regardless of access order (true LRU has no thrash for
+    /// fitting sets).
+    #[test]
+    fn fitting_working_set_stops_missing(ways in 2u32..=8, perm_seed in 0u64..1000) {
+        let geometry = CacheGeometry::new(u64::from(ways) * 64, 64, ways); // 1 set
+        let mut c = SetAssocCache::new(geometry);
+        let mut order: Vec<u64> = (0..u64::from(ways)).collect();
+        // Deterministic shuffle of the sweep order.
+        let mut state = perm_seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (state as usize) % (i + 1));
+        }
+        for &l in &order { c.access(Addr::new(l * 64)); }
+        for &l in &order {
+            prop_assert!(c.access(Addr::new(l * 64)).hit);
+        }
+    }
+
+    /// Hierarchy latencies are one of the three configured levels and the
+    /// level ordering is respected.
+    #[test]
+    fn hierarchy_latency_levels(addrs in prop::collection::vec(0u64..100_000, 1..300)) {
+        let cfg = HierarchyConfig::ev7();
+        let mut h = CacheHierarchy::new(cfg);
+        let mem = SimDuration::from_ns(83.0);
+        for &a in &addrs {
+            let out = h.load(Addr::new(a), mem);
+            let l = out.latency;
+            prop_assert!(l == cfg.l1_latency || l == cfg.l2_latency || l == mem);
+        }
+        prop_assert!(cfg.l1_latency < cfg.l2_latency);
+        prop_assert!(cfg.l2_latency < mem);
+    }
+
+    /// Invalidation is precise: it removes exactly the named line.
+    #[test]
+    fn invalidate_is_precise(a in 0u64..10_000u64, b in 0u64..10_000u64) {
+        let la = a * 64;
+        let lb = b * 64;
+        let mut h = CacheHierarchy::new(HierarchyConfig::ev7());
+        let mem = SimDuration::from_ns(83.0);
+        h.load(Addr::new(la), mem);
+        h.load(Addr::new(lb), mem);
+        h.invalidate(Addr::new(la));
+        prop_assert!(h.probe(Addr::new(la)).is_none());
+        if la != lb {
+            prop_assert!(h.probe(Addr::new(lb)).is_some());
+        }
+    }
+}

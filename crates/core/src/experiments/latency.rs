@@ -1,0 +1,160 @@
+//! Figs. 12–14: local and remote memory latency.
+
+use alphasim_system::{Gs1280, Gs320};
+use alphasim_topology::NodeId;
+
+use crate::types::{Figure, Series};
+
+/// Reproduce Fig. 12: read latency from CPU 0 to every CPU on 16-CPU
+/// machines, GS1280 vs GS320, plus the average as a final point
+/// (x = 16).
+pub fn fig12() -> Figure {
+    let g = Gs1280::builder().cpus(16).build();
+    let q = Gs320::new(16);
+    let mut fig = Figure::new(
+        "fig12",
+        "GS1280 vs GS320 latency: 16P (read-clean, 0 -> k)",
+        "target CPU k (16 = average)",
+        "latency (ns)",
+    );
+    let mut gs1280: Vec<(f64, f64)> = (0..16)
+        .map(|k| {
+            (
+                k as f64,
+                g.read_clean(NodeId::new(0), NodeId::new(k)).as_ns(),
+            )
+        })
+        .collect();
+    gs1280.push((16.0, g.average_latency_from0().as_ns()));
+    let mut gs320: Vec<(f64, f64)> = (0..16)
+        .map(|k| {
+            (
+                k as f64,
+                q.read_clean(NodeId::new(0), NodeId::new(k)).as_ns(),
+            )
+        })
+        .collect();
+    gs320.push((16.0, q.average_latency_from0().as_ns()));
+    fig.series.push(Series::from_pairs("GS1280/1.15GHz", gs1280));
+    fig.series.push(Series::from_pairs("GS320/1.2GHz", gs320));
+    fig
+}
+
+/// Fig. 12's headline ratios: `(read_clean_avg_ratio, read_dirty_avg_ratio)`
+/// on 16 CPUs (the paper reports 4× and 6.6×).
+pub fn fig12_ratios() -> (f64, f64) {
+    let g = Gs1280::builder().cpus(16).build();
+    let q = Gs320::new(16);
+    let clean = q.average_latency_from0().as_ns() / g.average_latency_from0().as_ns();
+    let dirty = q.average_dirty_latency().as_ns() / g.average_dirty_latency().as_ns();
+    (clean, dirty)
+}
+
+/// Reproduce Fig. 13: the 4×4 read-clean latency grid from node 0, in ns.
+pub fn fig13() -> Vec<Vec<f64>> {
+    Gs1280::builder()
+        .cpus(16)
+        .build()
+        .latency_grid(NodeId::new(0))
+}
+
+/// The paper's measured Fig. 13 grid, for comparison.
+pub const FIG13_PAPER: [[f64; 4]; 4] = [
+    [83.0, 145.0, 186.0, 154.0],
+    [139.0, 175.0, 221.0, 182.0],
+    [181.0, 221.0, 259.0, 222.0],
+    [154.0, 191.0, 235.0, 195.0],
+];
+
+/// Reproduce Fig. 14: average load-to-use latency over all pairs as the
+/// machine grows (4–64 CPUs GS1280; 4–32 GS320).
+pub fn fig14() -> Figure {
+    let mut fig = Figure::new(
+        "fig14",
+        "Average load-to-use latency",
+        "# CPUs",
+        "latency (ns)",
+    );
+    fig.series.push(Series::from_pairs(
+        "GS1280/1.15GHz",
+        [4usize, 8, 16, 32, 64].map(|n| {
+            (
+                n as f64,
+                Gs1280::builder()
+                    .cpus(n)
+                    .build()
+                    .average_latency_all_pairs()
+                    .as_ns(),
+            )
+        }),
+    ));
+    fig.series.push(Series::from_pairs(
+        "GS320/1.2GHz",
+        [4usize, 8, 16, 32].map(|n| {
+            (
+                n as f64,
+                Gs320::new(n).average_latency_all_pairs().as_ns(),
+            )
+        }),
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_ratio_bands() {
+        let (clean, dirty) = fig12_ratios();
+        // Paper: 4x average advantage, 6.6x for read-dirty.
+        assert!((3.0..=4.6).contains(&clean), "clean ratio {clean}");
+        assert!((5.0..=8.0).contains(&dirty), "dirty ratio {dirty}");
+        assert!(dirty > clean, "dirty advantage must exceed clean");
+    }
+
+    #[test]
+    fn fig13_grid_matches_paper_within_6_percent() {
+        let grid = fig13();
+        for y in 0..4 {
+            for x in 0..4 {
+                let got = grid[y][x];
+                let want = FIG13_PAPER[y][x];
+                assert!(
+                    (got - want).abs() / want < 0.06,
+                    "({x},{y}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig14_gs1280_grows_gently_gs320_stays_high() {
+        let fig = fig14();
+        let g = fig.series_like("GS1280").unwrap();
+        let q = fig.series_like("GS320").unwrap();
+        // GS1280 grows with diameter but stays under GS320 everywhere.
+        for p in &g.points {
+            if let Some(qy) = q.y_at(p.x) {
+                assert!(qy > 2.0 * p.y, "at {} CPUs: {} vs {}", p.x, p.y, qy);
+            }
+        }
+        assert!(g.y_at(64.0).unwrap() < 300.0);
+        assert!(q.y_at(32.0).unwrap() > 600.0);
+    }
+
+    #[test]
+    fn fig12_series_shapes() {
+        let fig = fig12();
+        assert_eq!(fig.series.len(), 2);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 17);
+        }
+        // GS320 shows exactly two levels among targets 0..16.
+        let q = fig.series_like("GS320").unwrap();
+        let mut levels: Vec<u64> = q.points[..16].iter().map(|p| p.y as u64).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert_eq!(levels.len(), 2, "{levels:?}");
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per group of reproduced figures; see DESIGN.md's experiment
+//! index for the full mapping.
+
+pub mod ablation;
+pub mod apps;
+pub mod latency;
+pub mod memory;
+pub mod network;
+pub mod spec;
+pub mod stream;
+pub mod summary;

@@ -1,0 +1,197 @@
+//! Figs. 1, 8–11 and 25: the SPEC CPU2000 experiments.
+
+use alphasim_workloads::spec::{self, MachinePerf, SpecProfile, Suite};
+
+use crate::types::{Figure, Series};
+
+/// Reproduce Fig. 1: SPECfp_rate2000 scaling (suite-mean rate score,
+/// normalised so GS1280/1P = 1 — the paper plots absolute SPEC scores,
+/// which need the reference machine; shapes and ratios are preserved).
+pub fn fig01() -> Figure {
+    let mut fig = Figure::new(
+        "fig01",
+        "SPECfp_rate2000 comparison",
+        "# CPUs",
+        "rate (normalised to GS1280 1P)",
+    );
+    let fp = spec::fp2000();
+    let machines = [
+        (MachinePerf::gs1280(), vec![1usize, 2, 4, 8, 16, 32]),
+        (MachinePerf::es45(), vec![1, 2, 4]),
+        (MachinePerf::gs320(), vec![4, 8, 16, 32]),
+    ];
+    let norm = suite_rate(&fp, &MachinePerf::gs1280(), 1);
+    for (m, counts) in machines {
+        let pts: Vec<(f64, f64)> = counts
+            .iter()
+            .map(|&n| (n as f64, suite_rate(&fp, &m, n) / norm))
+            .collect();
+        fig.series.push(Series::from_pairs(m.name.clone(), pts));
+    }
+    fig
+}
+
+/// Geometric-mean rate of a suite with `n` copies.
+pub fn suite_rate(suite: &[SpecProfile], m: &MachinePerf, n: usize) -> f64 {
+    let log_sum: f64 = suite.iter().map(|p| p.rate(m, n).ln()).sum();
+    (log_sum / suite.len() as f64).exp()
+}
+
+/// Reproduce Fig. 8 (fp) or Fig. 9 (int): per-benchmark IPC on the three
+/// machines. The x axis indexes benchmarks in the paper's order.
+pub fn ipc_figure(suite: Suite) -> Figure {
+    let (id, title, profiles) = match suite {
+        Suite::Fp => ("fig08", "IPC comparison: SPECfp2000", spec::fp2000()),
+        Suite::Int => ("fig09", "IPC comparison: SPECint2000", spec::int2000()),
+    };
+    let mut fig = Figure::new(id, title, "benchmark index", "IPC");
+    for m in [
+        MachinePerf::gs1280(),
+        MachinePerf::es45(),
+        MachinePerf::gs320(),
+    ] {
+        let pts: Vec<(f64, f64)> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as f64, p.ipc(&m)))
+            .collect();
+        fig.series.push(Series::from_pairs(m.name.clone(), pts));
+    }
+    fig
+}
+
+/// The benchmark names backing [`ipc_figure`]'s x axis.
+pub fn benchmark_names(suite: Suite) -> Vec<&'static str> {
+    let profiles = match suite {
+        Suite::Fp => spec::fp2000(),
+        Suite::Int => spec::int2000(),
+    };
+    profiles.iter().map(|p| p.name).collect()
+}
+
+/// Reproduce Fig. 10 (fp) or Fig. 11 (int): per-benchmark Zbox-utilization
+/// time series on the GS1280, `samples` points each.
+pub fn utilization_figure(suite: Suite, samples: usize) -> Figure {
+    let (id, title, profiles) = match suite {
+        Suite::Fp => (
+            "fig10",
+            "SPECfp2000: memory controller utilization",
+            spec::fp2000(),
+        ),
+        Suite::Int => (
+            "fig11",
+            "SPECint2000: memory controller utilization",
+            spec::int2000(),
+        ),
+    };
+    let m = MachinePerf::gs1280();
+    let mut fig = Figure::new(id, title, "timestamp", "utilization (%)");
+    for p in profiles {
+        let series = p.utilization_series(&m, samples);
+        fig.series.push(Series::from_pairs(
+            p.name,
+            series
+                .into_iter()
+                .enumerate()
+                .map(|(i, u)| (i as f64, u)),
+        ));
+    }
+    fig
+}
+
+/// Reproduce Fig. 25: SPECfp_rate degradation from memory striping, one
+/// point per fp benchmark (fraction, 0.10 = 10%).
+pub fn fig25() -> Figure {
+    let plain = MachinePerf::gs1280();
+    let striped = MachinePerf::gs1280_striped();
+    let mut fig = Figure::new(
+        "fig25",
+        "Degradation from striping: SPECfp_rate2000",
+        "benchmark index",
+        "degradation (fraction)",
+    );
+    let pts: Vec<(f64, f64)> = spec::fp2000()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let d = 1.0 - p.rate(&striped, 16) / p.rate(&plain, 16);
+            (i as f64, d.max(0.0))
+        })
+        .collect();
+    fig.series.push(Series::from_pairs("GS1280 16P", pts));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_gs1280_scales_best() {
+        let fig = fig01();
+        let g = fig.series_like("GS1280").unwrap();
+        let q = fig.series_like("GS320").unwrap();
+        // Near-linear GS1280 scaling.
+        let r = g.y_at(16.0).unwrap() / g.y_at(1.0).unwrap();
+        assert!(r > 12.0, "16P scaling {r}");
+        // Paper: "2 to 3 times the performance of the GS320 at similar
+        // clock frequency" — at 16P the rate gap is large.
+        let gap = g.y_at(16.0).unwrap() / q.y_at(16.0).unwrap();
+        assert!(gap > 1.8, "gap {gap}");
+    }
+
+    #[test]
+    fn fig08_has_all_machines_and_benchmarks() {
+        let fig = ipc_figure(Suite::Fp);
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 14);
+        }
+        assert_eq!(benchmark_names(Suite::Fp)[1], "swim");
+        assert_eq!(benchmark_names(Suite::Int).len(), 12);
+    }
+
+    #[test]
+    fn fig09_int_ipcs_are_comparable() {
+        let fig = ipc_figure(Suite::Int);
+        let g = fig.series_like("GS1280").unwrap();
+        let e = fig.series_like("ES45").unwrap();
+        // Suite-mean int IPC within ~20% between GS1280 and ES45.
+        let gm: f64 = g.points.iter().map(|p| p.y).sum::<f64>() / 12.0;
+        let em: f64 = e.points.iter().map(|p| p.y).sum::<f64>() / 12.0;
+        let ratio = gm / em;
+        assert!((0.8..=1.3).contains(&ratio), "int mean ratio {ratio}");
+    }
+
+    #[test]
+    fn fig10_swim_leads_at_around_53_percent() {
+        let fig = utilization_figure(Suite::Fp, 60);
+        let swim = fig.series_like("swim").unwrap();
+        let mean = swim.points.iter().map(|p| p.y).sum::<f64>() / 60.0;
+        assert!((45.0..=60.0).contains(&mean), "swim mean {mean}");
+        // swim has the highest mean of the suite.
+        for s in &fig.series {
+            let m = s.points.iter().map(|p| p.y).sum::<f64>() / 60.0;
+            assert!(m <= mean + 1e-9, "{} {m} exceeds swim", s.label);
+        }
+    }
+
+    #[test]
+    fn fig11_int_utilizations_are_modest() {
+        let fig = utilization_figure(Suite::Int, 60);
+        for s in &fig.series {
+            let mean = s.points.iter().map(|p| p.y).sum::<f64>() / 60.0;
+            assert!(mean < 30.0, "{} {mean}", s.label);
+        }
+    }
+
+    #[test]
+    fn fig25_band_matches_paper() {
+        // Fig. 25: degradations mostly 0-30%, worst tail higher.
+        let fig = fig25();
+        let s = &fig.series[0];
+        assert!(s.peak_y() > 0.10 && s.peak_y() < 0.45, "peak {}", s.peak_y());
+        let mesa = s.points[4].y; // mesa is index 4 in the fp order
+        assert!(mesa < 0.05, "cache-resident mesa {mesa}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Figs. 6–7: McCalpin STREAM Triad bandwidth.
+
+use alphasim_system::{Es45, Gs1280, Gs320, Sc45};
+
+use crate::types::{Figure, Series};
+
+/// Reproduce Fig. 6: Triad bandwidth scaling to 64 CPUs on the GS1280, to
+/// 32 on the GS320, and per-box on the SC45.
+pub fn fig06() -> Figure {
+    let mut fig = Figure::new(
+        "fig06",
+        "McCalpin STREAM: Triad",
+        "# CPUs",
+        "bandwidth (GB/s)",
+    );
+    let g = Gs1280::builder().cpus(64).build();
+    fig.series.push(Series::from_pairs(
+        "HP GS1280/1.15GHz",
+        [1usize, 2, 4, 8, 16, 32, 64]
+            .map(|n| (n as f64, g.stream_triad_gbps(n))),
+    ));
+    let q = Gs320::new(32);
+    fig.series.push(Series::from_pairs(
+        "HP GS320/1.2GHz",
+        [1usize, 2, 4, 8, 16, 32].map(|n| (n as f64, q.stream_triad_gbps(n))),
+    ));
+    let s = Sc45::new(64);
+    fig.series.push(Series::from_pairs(
+        "HP SC45/1.25GHz",
+        [4usize, 8, 16, 32, 64].map(|n| (n as f64, s.stream_triad_gbps(n))),
+    ));
+    fig
+}
+
+/// Reproduce Fig. 7: Triad bandwidth at 1 and 4 CPUs on all three machines.
+pub fn fig07() -> Figure {
+    let mut fig = Figure::new(
+        "fig07",
+        "McCalpin STREAM (Triad), 1 vs 4 CPUs",
+        "# CPUs",
+        "bandwidth (GB/s)",
+    );
+    let g = Gs1280::builder().cpus(4).build();
+    let e = Es45::new(4);
+    let q = Gs320::new(4);
+    fig.series.push(Series::from_pairs(
+        "GS1280/1.15GHz",
+        [(1.0, g.stream_triad_gbps(1)), (4.0, g.stream_triad_gbps(4))],
+    ));
+    fig.series.push(Series::from_pairs(
+        "ES45/1.25GHz",
+        [(1.0, e.stream_triad_gbps(1)), (4.0, e.stream_triad_gbps(4))],
+    ));
+    fig.series.push(Series::from_pairs(
+        "GS320/1.2GHz",
+        [(1.0, q.stream_triad_gbps(1)), (4.0, q.stream_triad_gbps(4))],
+    ));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig06_gs1280_scales_linearly_and_dominates() {
+        let fig = fig06();
+        let g = fig.series_like("GS1280").unwrap();
+        let q = fig.series_like("GS320").unwrap();
+        // Linear: 64P = 64 x 1P.
+        let one = g.y_at(1.0).unwrap();
+        let sixty_four = g.y_at(64.0).unwrap();
+        assert!((sixty_four - 64.0 * one).abs() < 1e-6);
+        // Dominance at every shared point.
+        for n in [1.0, 4.0, 16.0, 32.0] {
+            assert!(g.y_at(n).unwrap() > 3.0 * q.y_at(n).unwrap(), "at {n}");
+        }
+    }
+
+    #[test]
+    fn fig07_values_near_paper() {
+        let fig = fig07();
+        let g = fig.series_like("GS1280").unwrap();
+        let e = fig.series_like("ES45").unwrap();
+        let q = fig.series_like("GS320").unwrap();
+        // Paper's Fig. 7 readings (GB/s): GS1280 ~4.4/17.6; ES45 ~2.1/2.8;
+        // GS320 ~0.6/1.15.
+        assert!((g.y_at(1.0).unwrap() - 4.4).abs() < 0.5);
+        assert!((g.y_at(4.0).unwrap() - 17.6).abs() < 2.0);
+        assert!((e.y_at(1.0).unwrap() - 2.1).abs() < 0.4);
+        assert!((e.y_at(4.0).unwrap() - 2.8).abs() < 0.5);
+        assert!((q.y_at(1.0).unwrap() - 0.6).abs() < 0.15);
+        assert!((q.y_at(4.0).unwrap() - 1.15).abs() < 0.25);
+    }
+
+    #[test]
+    fn fig07_one_cpu_ratio_matches_fig28() {
+        // Fig. 28's "memory copy bw (1P)" row: ~8x GS1280 vs GS320.
+        let fig = fig07();
+        let ratio = fig.series_like("GS1280").unwrap().y_at(1.0).unwrap()
+            / fig.series_like("GS320").unwrap().y_at(1.0).unwrap();
+        assert!((6.0..=10.0).contains(&ratio), "ratio {ratio}");
+    }
+}

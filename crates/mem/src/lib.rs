@@ -1,0 +1,35 @@
+//! The Alpha 21364's integrated RDRAM memory controllers ("Zboxes") and the
+//! machine-wide physical address map, including the paper's memory-striping
+//! mode (§6).
+//!
+//! Each EV7 carries two Zboxes driving Direct Rambus memory: 12.3 GB/s peak
+//! across 8 two-byte channels at 767 MHz data rate, with up to 2048
+//! simultaneously open pages (paper §2). Open-page accesses complete in
+//! ~80 ns load-to-use, closed-page (large-stride) accesses in ~130 ns
+//! (Fig. 5); this crate models the controller's share of those latencies,
+//! page tracking, and bandwidth occupancy.
+//!
+//! # Examples
+//!
+//! ```
+//! use alphasim_mem::{Zbox, ZboxConfig};
+//! use alphasim_cache::Addr;
+//! use alphasim_kernel::SimTime;
+//!
+//! let mut z = Zbox::new(ZboxConfig::ev7());
+//! let first = z.access(SimTime::ZERO, Addr::new(0x4000), 64);
+//! assert!(!first.page_hit); // cold page
+//! let again = z.access(first.completed, Addr::new(0x4040), 64);
+//! assert!(again.page_hit);  // same RDRAM page still open
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr_map;
+mod pages;
+mod zbox;
+
+pub use addr_map::{AddressMap, Interleave, MemTarget};
+pub use pages::OpenPageTable;
+pub use zbox::{Zbox, ZboxAccess, ZboxConfig};

@@ -1,0 +1,88 @@
+//! Property tests for the address map and memory controller.
+
+use alphasim_cache::Addr;
+use alphasim_kernel::SimTime;
+use alphasim_mem::{AddressMap, Interleave, Zbox, ZboxConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every address has exactly one home, stable across calls, and within
+    /// the machine.
+    #[test]
+    fn target_is_total_and_stable(cpus2 in 1usize..16, addr in 0u64..(1<<26),
+                                  striped in any::<bool>()) {
+        let cpus = cpus2 * 2;
+        let interleave = if striped { Interleave::StripedPairs } else { Interleave::PerCpu };
+        let m = AddressMap::new(cpus, 1 << 22, interleave);
+        let a = Addr::new(addr % m.total_bytes());
+        let t1 = m.target_of(a);
+        let t2 = m.target_of(a);
+        prop_assert_eq!(t1, t2);
+        prop_assert!(t1.cpu < cpus);
+        prop_assert!(t1.zbox < 2);
+    }
+
+    /// All bytes of one cache line share a target (no torn lines).
+    #[test]
+    fn lines_are_atomic(cpus2 in 1usize..8, line in 0u64..10_000, striped in any::<bool>()) {
+        let cpus = cpus2 * 2;
+        let interleave = if striped { Interleave::StripedPairs } else { Interleave::PerCpu };
+        let m = AddressMap::new(cpus, 1 << 22, interleave);
+        let base = (line * 64) % m.total_bytes();
+        let base = base - base % 64;
+        let t0 = m.target_of(Addr::new(base));
+        for off in [1u64, 13, 31, 63] {
+            prop_assert_eq!(m.target_of(Addr::new(base + off)), t0);
+        }
+    }
+
+    /// Striping keeps a line within its module pair and balances the four
+    /// controllers exactly over any aligned window of 4 lines.
+    #[test]
+    fn striping_stays_in_pair(cpus2 in 1usize..8, group in 0u64..1000) {
+        let cpus = cpus2 * 2;
+        let m = AddressMap::new(cpus, 1 << 22, Interleave::StripedPairs);
+        let base = (group * 256) % m.total_bytes();
+        let base = base - base % 256; // 4-line aligned
+        let region = base / m.bytes_per_cpu();
+        let pair = (region & !1) as usize;
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..4u64 {
+            let t = m.target_of(Addr::new(base + i * 64));
+            prop_assert!(t.cpu == pair || t.cpu == pair + 1);
+            seen.insert((t.cpu, t.zbox));
+        }
+        prop_assert_eq!(seen.len(), 4, "all four controllers in a 4-line window");
+    }
+
+    /// Zbox service is causal and monotone: completion after start, start
+    /// no earlier than arrival, and the controller's next_free never runs
+    /// backwards.
+    #[test]
+    fn zbox_time_is_monotone(gaps in prop::collection::vec(0u64..200_000u64, 1..100)) {
+        let mut z = Zbox::new(ZboxConfig::ev7());
+        let mut now = SimTime::ZERO;
+        let mut last_free = SimTime::ZERO;
+        for (i, &gap) in gaps.iter().enumerate() {
+            now = SimTime::from_ps(now.as_ps() + gap);
+            let acc = z.access(now, Addr::new((i as u64) * 4096), 64);
+            prop_assert!(acc.started >= now);
+            prop_assert!(acc.completed > acc.started);
+            prop_assert!(z.next_free() >= last_free);
+            last_free = z.next_free();
+        }
+        prop_assert_eq!(z.accesses(), gaps.len() as u64);
+    }
+
+    /// Utilization is always a fraction.
+    #[test]
+    fn zbox_utilization_bounded(n in 1usize..200) {
+        let mut z = Zbox::new(ZboxConfig::ev7());
+        for i in 0..n {
+            z.access(SimTime::ZERO, Addr::new((i as u64) * 64), 64);
+        }
+        let end = z.next_free();
+        let u = z.utilization(end);
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+}

@@ -1,0 +1,37 @@
+//! Discrete-event simulation kernel for the GS1280 reproduction.
+//!
+//! This crate provides the machinery every other `alphasim-*` crate builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer picosecond timestamps, so that
+//!   component latencies compose without floating-point drift;
+//! * [`EventQueue`] — a deterministic future-event list with stable FIFO
+//!   ordering among simultaneous events;
+//! * [`DetRng`] — a seedable random-number source so every experiment is
+//!   reproducible bit-for-bit;
+//! * [`stats`] — counters, running statistics, histograms, utilization meters
+//!   and time-series samplers used by the performance-counter ("Xmesh") layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use alphasim_kernel::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_ns(5.0), "late");
+//! q.schedule(SimTime::ZERO + SimDuration::from_ns(1.0), "early");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "early");
+//! assert_eq!(t.as_ns(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use time::{Frequency, SimDuration, SimTime};

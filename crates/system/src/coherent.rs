@@ -1,0 +1,489 @@
+//! A trace-driven coherent machine: per-CPU cache hierarchies, the global
+//! directory protocol, and the fabric's latency model composed end to end.
+//!
+//! This is the machine a downstream user programs against: feed it an
+//! interleaved stream of per-CPU loads and stores and it answers with the
+//! latency each access would see on the GS1280 — L1/L2 hits, local or
+//! remote memory, 3-hop read-dirty forwards, and invalidations — while
+//! keeping every CPU's cache contents and the directory consistent.
+//!
+//! The sharing microbenchmarks in `alphasim-workloads` (producer/consumer
+//! ping-pong, migratory sharing) run on this machine, reproducing the
+//! paper's observation that the GS1280's efficient read-dirty path is what
+//! wins on "applications that require high amount of data sharing".
+
+use alphasim_cache::{Addr, CacheHierarchy, HitLevel};
+use alphasim_coherence::{AccessKind, Directory, ServedBy, Transaction};
+use alphasim_kernel::SimDuration;
+use alphasim_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::gs1280::Gs1280;
+use crate::gs320::Gs320;
+
+/// Where a coherent access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// The requesting CPU's own L1.
+    L1,
+    /// The requesting CPU's own L2.
+    L2,
+    /// The requester's local memory (its own Zboxes).
+    LocalMemory,
+    /// A remote node's memory (read-clean).
+    RemoteClean,
+    /// Another CPU's cache via the 3-hop forwarding path (read-dirty).
+    RemoteDirty,
+}
+
+/// The outcome of one coherent access.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoherentOutcome {
+    /// Load-to-use latency of the access.
+    pub latency: SimDuration,
+    /// How it was served.
+    pub service: ServiceClass,
+    /// Invalidations sent to other CPUs by this access.
+    pub invalidations: u32,
+}
+
+/// Per-machine aggregate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoherentStats {
+    /// Accesses served per class, indexed like [`ServiceClass`].
+    pub l1: u64,
+    /// See [`ServiceClass::L2`].
+    pub l2: u64,
+    /// See [`ServiceClass::LocalMemory`].
+    pub local: u64,
+    /// See [`ServiceClass::RemoteClean`].
+    pub remote_clean: u64,
+    /// See [`ServiceClass::RemoteDirty`].
+    pub remote_dirty: u64,
+    /// Invalidation messages sent.
+    pub invalidations: u64,
+    /// Bytes put on the fabric (commands + blocks, critical + side legs).
+    pub fabric_bytes: u64,
+    /// Dirty L2 victims written back across all CPUs.
+    pub writebacks: u64,
+}
+
+impl CoherentStats {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.l1 + self.l2 + self.local + self.remote_clean + self.remote_dirty
+    }
+}
+
+/// The latency model a coherent machine runs over: the GS1280's torus or
+/// the GS320's hierarchical switch (same directory protocol, very
+/// different path costs — the paper's §3.4 comparison).
+#[derive(Debug, Clone)]
+pub enum MachineModel {
+    /// The Alpha 21364 torus machine.
+    Gs1280(Gs1280),
+    /// The previous-generation switch machine.
+    Gs320(Gs320),
+}
+
+impl MachineModel {
+    fn cpus(&self) -> usize {
+        match self {
+            MachineModel::Gs1280(m) => m.cpus(),
+            MachineModel::Gs320(m) => m.cpus(),
+        }
+    }
+
+    fn hierarchy(&self) -> alphasim_cache::HierarchyConfig {
+        match self {
+            MachineModel::Gs1280(m) => m.calibration().hierarchy,
+            MachineModel::Gs320(m) => m.calibration().hierarchy,
+        }
+    }
+
+    fn home_of(&self, addr: Addr) -> usize {
+        match self {
+            MachineModel::Gs1280(m) => m.home_of(addr).index(),
+            // GS320 memory interleaves across QBBs by region, like the
+            // torus machine's per-CPU regions scaled to 1 GiB.
+            MachineModel::Gs320(m) => {
+                ((addr.get() >> 30) as usize) % m.cpus()
+            }
+        }
+    }
+
+    fn local_latency(&self) -> SimDuration {
+        match self {
+            MachineModel::Gs1280(m) => m.local_latency(true),
+            MachineModel::Gs320(m) => m.local_latency(true),
+        }
+    }
+
+    fn read_clean(&self, requester: usize, home: usize) -> SimDuration {
+        match self {
+            MachineModel::Gs1280(m) => {
+                m.read_clean(NodeId::new(requester), NodeId::new(home))
+            }
+            MachineModel::Gs320(m) => {
+                m.read_clean(NodeId::new(requester), NodeId::new(home))
+            }
+        }
+    }
+
+    fn read_dirty(&self, requester: usize, home: usize, owner: usize) -> SimDuration {
+        match self {
+            MachineModel::Gs1280(m) => m.read_dirty(
+                NodeId::new(requester),
+                NodeId::new(home),
+                NodeId::new(owner),
+            ),
+            MachineModel::Gs320(m) => m.read_dirty(
+                NodeId::new(requester),
+                NodeId::new(home),
+                NodeId::new(owner),
+            ),
+        }
+    }
+}
+
+/// The trace-driven coherent machine.
+#[derive(Debug)]
+pub struct CoherentMachine {
+    machine: MachineModel,
+    hierarchies: Vec<CacheHierarchy>,
+    directory: Directory,
+    stats: CoherentStats,
+    total_latency: SimDuration,
+}
+
+impl CoherentMachine {
+    /// A coherent machine over a GS1280, with one cold cache hierarchy per
+    /// CPU.
+    pub fn new(machine: Gs1280) -> Self {
+        Self::over(MachineModel::Gs1280(machine))
+    }
+
+    /// A coherent machine over a GS320 — the same directory protocol over
+    /// the older fabric, for sharing-workload comparisons.
+    pub fn new_gs320(machine: Gs320) -> Self {
+        Self::over(MachineModel::Gs320(machine))
+    }
+
+    /// A coherent machine over any supported model.
+    pub fn over(machine: MachineModel) -> Self {
+        let hierarchies = (0..machine.cpus())
+            .map(|_| CacheHierarchy::new(machine.hierarchy()))
+            .collect();
+        CoherentMachine {
+            machine,
+            hierarchies,
+            directory: Directory::new(),
+            stats: CoherentStats::default(),
+            total_latency: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.machine.cpus()
+    }
+
+    /// The underlying GS1280, if this machine is one.
+    pub fn machine(&self) -> Option<&Gs1280> {
+        match &self.machine {
+            MachineModel::Gs1280(m) => Some(m),
+            MachineModel::Gs320(_) => None,
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> CoherentStats {
+        CoherentStats {
+            writebacks: self.hierarchies.iter().map(|h| h.writebacks()).sum(),
+            ..self.stats
+        }
+    }
+
+    /// Mean access latency so far.
+    pub fn mean_latency(&self) -> SimDuration {
+        let n = self.stats.total();
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_latency / n
+        }
+    }
+
+    /// Protocol-level directory state (for inspection/tests).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Perform one load (`write == false`) or store (`write == true`) by
+    /// `cpu` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range or `addr` beyond the machine's
+    /// memory.
+    pub fn access(&mut self, cpu: usize, addr: Addr, write: bool) -> CoherentOutcome {
+        assert!(cpu < self.machine.cpus(), "CPU out of range");
+        let line = addr.line(64);
+        let home = self.machine.home_of(addr);
+
+        // A store needs write rights even on a cache hit; loads can be
+        // served entirely by the local hierarchy.
+        let local_hit = self.hierarchies[cpu].probe(addr);
+        if let (Some(level), false) = (local_hit, write) {
+            // Pure load hit: no directory involvement.
+            let outcome = self.hierarchies[cpu].load(addr, SimDuration::ZERO);
+            debug_assert_eq!(outcome.level, level);
+            let service = match level {
+                HitLevel::L1 => {
+                    self.stats.l1 += 1;
+                    ServiceClass::L1
+                }
+                HitLevel::L2 => {
+                    self.stats.l2 += 1;
+                    ServiceClass::L2
+                }
+                HitLevel::Memory => unreachable!("probe said hit"),
+            };
+            self.total_latency += outcome.latency;
+            return CoherentOutcome {
+                latency: outcome.latency,
+                service,
+                invalidations: 0,
+            };
+        }
+
+        // Consult the directory.
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let txn = self.directory.access(home, cpu, line, kind);
+        self.stats.fabric_bytes += txn.fabric_bytes();
+        let invalidations = self.apply_side_effects(&txn, cpu, addr);
+
+        let (latency, service) = self.transaction_latency(cpu, home, &txn, local_hit.is_some());
+        // Fill the local hierarchy (memory-latency parameter is already
+        // accounted; load()/store() charge it on the miss path). Stores
+        // leave the line dirty so later evictions write back.
+        if write {
+            let _ = self.hierarchies[cpu].store(addr, latency);
+        } else {
+            let _ = self.hierarchies[cpu].load(addr, latency);
+        }
+        self.total_latency += latency;
+        match service {
+            ServiceClass::L1 => self.stats.l1 += 1,
+            ServiceClass::L2 => self.stats.l2 += 1,
+            ServiceClass::LocalMemory => self.stats.local += 1,
+            ServiceClass::RemoteClean => self.stats.remote_clean += 1,
+            ServiceClass::RemoteDirty => self.stats.remote_dirty += 1,
+        }
+        CoherentOutcome {
+            latency,
+            service,
+            invalidations,
+        }
+    }
+
+    /// Invalidate other CPUs' copies named by the transaction's side legs.
+    fn apply_side_effects(&mut self, txn: &Transaction, requester: usize, addr: Addr) -> u32 {
+        let mut invalidations = 0;
+        for leg in &txn.side {
+            if leg.class == alphasim_net::MessageClass::Forward && leg.to != requester {
+                self.hierarchies[leg.to].invalidate(addr);
+                invalidations += 1;
+                self.stats.invalidations += 1;
+            }
+        }
+        // A read-dirty downgrades the owner but leaves its copy readable;
+        // a write-steal invalidates the previous owner's copy.
+        if txn.served_by == ServedBy::OwnerCache {
+            if let Some(forward) = txn
+                .critical
+                .iter()
+                .find(|l| l.class == alphasim_net::MessageClass::Forward)
+            {
+                let owner = forward.to;
+                if owner != requester && txn.critical.last().map(|l| l.from) == Some(owner) {
+                    // Only writes steal; detect by directory state: if the
+                    // requester is now exclusive, the owner lost its copy.
+                    if self.directory.state(addr.line(64))
+                        == alphasim_coherence::LineState::Exclusive(requester)
+                    {
+                        self.hierarchies[owner].invalidate(addr);
+                        invalidations += 1;
+                        self.stats.invalidations += 1;
+                    }
+                }
+            }
+        }
+        invalidations
+    }
+
+    /// Compose the latency of a directory transaction from the machine's
+    /// calibrated path costs.
+    fn transaction_latency(
+        &self,
+        cpu: usize,
+        home: usize,
+        txn: &Transaction,
+        had_readable_copy: bool,
+    ) -> (SimDuration, ServiceClass) {
+        let hierarchy = self.machine.hierarchy();
+        match txn.served_by {
+            ServedBy::AlreadyHeld => {
+                // Upgrade-in-place (e.g. store to an Exclusive line) — L2
+                // cost at most.
+                let lat = if had_readable_copy {
+                    hierarchy.l2_latency
+                } else {
+                    hierarchy.l1_latency
+                };
+                (lat, ServiceClass::L2)
+            }
+            ServedBy::Memory => {
+                if cpu == home {
+                    (self.machine.local_latency(), ServiceClass::LocalMemory)
+                } else {
+                    (
+                        self.machine.read_clean(cpu, home),
+                        ServiceClass::RemoteClean,
+                    )
+                }
+            }
+            ServedBy::OwnerCache => {
+                let owner = txn
+                    .critical
+                    .last()
+                    .expect("owner responds last")
+                    .from;
+                (
+                    self.machine.read_dirty(cpu, home, owner),
+                    ServiceClass::RemoteDirty,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> CoherentMachine {
+        CoherentMachine::new(Gs1280::builder().cpus(16).mem_per_cpu(1 << 22).build())
+    }
+
+    fn local_addr(cpu: usize, off: u64) -> Addr {
+        Addr::new(cpu as u64 * (1 << 22) + off)
+    }
+
+    #[test]
+    fn cold_local_load_costs_83ns_then_hits_l1() {
+        let mut m = machine();
+        let a = local_addr(0, 4096);
+        let first = m.access(0, a, false);
+        assert_eq!(first.service, ServiceClass::LocalMemory);
+        assert_eq!(first.latency.as_ns(), 83.0);
+        let second = m.access(0, a, false);
+        assert_eq!(second.service, ServiceClass::L1);
+        assert!(second.latency.as_ns() < 4.0);
+    }
+
+    #[test]
+    fn remote_clean_load_matches_fig13() {
+        let mut m = machine();
+        // CPU 0 reads CPU 4's memory: (0,1) is the module partner, 139 ns.
+        let a = local_addr(4, 0);
+        let out = m.access(0, a, false);
+        assert_eq!(out.service, ServiceClass::RemoteClean);
+        assert_eq!(out.latency.as_ns(), 139.0);
+    }
+
+    #[test]
+    fn write_then_foreign_read_is_dirty_three_hop() {
+        let mut m = machine();
+        let a = local_addr(8, 64);
+        m.access(3, a, true); // CPU 3 dirties a line homed at CPU 8
+        let out = m.access(12, a, false);
+        assert_eq!(out.service, ServiceClass::RemoteDirty);
+        let expect = m
+            .machine()
+            .expect("built over a GS1280")
+            .read_dirty(NodeId::new(12), NodeId::new(8), NodeId::new(3));
+        assert_eq!(out.latency, expect);
+    }
+
+    #[test]
+    fn store_invalidates_sharers_caches() {
+        let mut m = machine();
+        let a = local_addr(0, 128);
+        for cpu in [1usize, 2, 5] {
+            m.access(cpu, a, false);
+        }
+        let out = m.access(7, a, true);
+        assert_eq!(out.invalidations, 3);
+        // Sharers' caches no longer hold the line: their next load misses.
+        let reread = m.access(2, a, false);
+        assert_ne!(reread.service, ServiceClass::L1);
+        assert_ne!(reread.service, ServiceClass::L2);
+    }
+
+    #[test]
+    fn write_steal_invalidates_previous_owner() {
+        let mut m = machine();
+        let a = local_addr(0, 256);
+        m.access(1, a, true);
+        m.access(2, a, true); // steals ownership
+        let back = m.access(1, a, false);
+        assert_eq!(
+            back.service,
+            ServiceClass::RemoteDirty,
+            "previous owner must refetch from the new owner"
+        );
+    }
+
+    #[test]
+    fn repeated_store_by_owner_is_cheap() {
+        let mut m = machine();
+        let a = local_addr(0, 512);
+        m.access(0, a, true);
+        let again = m.access(0, a, true);
+        assert!(again.latency.as_ns() <= 11.0, "{}", again.latency.as_ns());
+        assert_eq!(again.invalidations, 0);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut m = machine();
+        for i in 0..50u64 {
+            m.access((i % 4) as usize, local_addr((i % 8) as usize, i * 64), i % 3 == 0);
+        }
+        let s = m.stats();
+        assert_eq!(s.total(), 50);
+        assert!(m.mean_latency() > SimDuration::ZERO);
+        assert!(s.fabric_bytes > 0);
+    }
+
+    #[test]
+    fn read_dirty_is_faster_than_gs320_equivalent() {
+        // The paper's data-sharing argument, end to end: the GS1280's
+        // 3-hop dirty read is several times faster than the GS320's.
+        let mut m = machine();
+        let a = local_addr(8, 1024);
+        m.access(3, a, true);
+        let gs1280 = m.access(12, a, false).latency;
+        let gs320 = crate::Gs320::new(16).read_dirty(
+            NodeId::new(12),
+            NodeId::new(8),
+            NodeId::new(3),
+        );
+        assert!(gs320 > gs1280 * 4, "{gs320} vs {gs1280}");
+    }
+}

@@ -1,0 +1,549 @@
+//! The paper's load test (§4, Fig. 15): every CPU keeps a fixed number of
+//! outstanding read requests to randomly selected other CPUs, and we measure
+//! delivered bandwidth against observed latency as the window grows.
+//!
+//! The same closed-loop engine drives the shuffle experiment (Fig. 18), the
+//! GUPS throughput study (Figs. 23–24) and the hot-spot striping experiment
+//! (Figs. 26–27): they differ only in traffic pattern and window size.
+
+use std::collections::HashMap;
+
+use alphasim_cache::Addr;
+use alphasim_kernel::{DetRng, SimDuration, SimTime};
+use alphasim_mem::{Zbox, ZboxConfig};
+use alphasim_net::{Delivery, MessageClass, NetworkSim, Step};
+use alphasim_topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// How CPUs pick the home of each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Each request goes to a uniformly random *other* CPU (the paper's
+    /// load test and GUPS).
+    UniformRemote,
+    /// All CPUs read from one CPU's memory (Fig. 26's hot spot).
+    HotSpot(usize),
+    /// Hot-spot traffic with memory striping: requests alternate between
+    /// the hot CPU and its module partner (§6).
+    StripedHotSpot(usize, usize),
+}
+
+/// Parameters of one load-test run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadTestConfig {
+    /// Outstanding requests per CPU (the paper sweeps 1..=30).
+    pub outstanding: usize,
+    /// Requests each CPU completes before the run ends.
+    pub requests_per_cpu: usize,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+    /// If set, capture an Xmesh-style utilization sample every this many
+    /// nanoseconds of simulated time (interval utilizations, like the
+    /// paper's strip charts).
+    pub sample_interval_ns: Option<f64>,
+}
+
+impl Default for LoadTestConfig {
+    fn default() -> Self {
+        LoadTestConfig {
+            outstanding: 1,
+            requests_per_cpu: 200,
+            pattern: TrafficPattern::UniformRemote,
+            seed: 0x6A1280,
+            sample_interval_ns: None,
+        }
+    }
+}
+
+/// One Xmesh-style sample captured mid-run: interval utilizations over the
+/// preceding sampling window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilSample {
+    /// Sample time, ns.
+    pub at_ns: f64,
+    /// Per-CPU Zbox interval utilization.
+    pub zbox: Vec<f64>,
+    /// Mean East–West link interval utilization.
+    pub east_west: f64,
+    /// Mean North–South link interval utilization.
+    pub north_south: f64,
+}
+
+/// Per-node measurements after a run (what Xmesh displays, Fig. 27).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeStat {
+    /// The CPU node.
+    pub node: usize,
+    /// Its memory controller's busy fraction.
+    pub zbox_utilization: f64,
+    /// Mean utilization of its outgoing fabric links.
+    pub ip_utilization: f64,
+}
+
+/// The outcome of one load-test run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadTestResult {
+    /// Mean end-to-end read latency (request injection to data return,
+    /// including the front-end overhead).
+    pub mean_latency: SimDuration,
+    /// Aggregate delivered read bandwidth, GB/s (64 B per completed read).
+    pub delivered_gbps: f64,
+    /// Completed reads.
+    pub completed: u64,
+    /// Wall-clock span of the run.
+    pub elapsed: SimDuration,
+    /// Mean utilization of horizontal (East–West) torus links.
+    pub horizontal_util: f64,
+    /// Mean utilization of vertical (North–South) torus links.
+    pub vertical_util: f64,
+    /// Per-CPU statistics.
+    pub nodes: Vec<NodeStat>,
+    /// Mid-run Xmesh samples (empty unless
+    /// [`LoadTestConfig::sample_interval_ns`] was set).
+    pub samples: Vec<UtilSample>,
+}
+
+/// A machine prepared for load testing: a network plus the memory sites
+/// behind it.
+pub struct LoadTest<T: Topology> {
+    net: NetworkSim<T>,
+    /// Memory site (node holding the Zbox) of each CPU's memory.
+    site_of_cpu: Vec<NodeId>,
+    /// CPU endpoints that generate traffic.
+    cpus: Vec<NodeId>,
+    /// One controller per distinct memory site.
+    zboxes: HashMap<usize, Zbox>,
+    /// Front-end (cache miss detect) charge reported per transaction.
+    front_overhead: SimDuration,
+    /// Directory processing time at the home before memory is accessed.
+    directory_overhead: SimDuration,
+}
+
+impl<T: Topology> LoadTest<T> {
+    /// Assemble a load test over `net`.
+    ///
+    /// `site_of_cpu[i]` is the node where CPU `i`'s memory lives (itself on
+    /// the GS1280; the QBB switch on the GS320); each distinct site gets one
+    /// controller configured as `zbox`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site_of_cpu` is empty or shorter than the CPU list.
+    pub fn new(
+        net: NetworkSim<T>,
+        site_of_cpu: Vec<NodeId>,
+        zbox: ZboxConfig,
+        front_overhead: SimDuration,
+        directory_overhead: SimDuration,
+    ) -> Self {
+        let cpus = net.topology().endpoints();
+        assert!(!cpus.is_empty(), "no CPU endpoints");
+        assert!(
+            site_of_cpu.len() >= cpus.len(),
+            "need a memory site per CPU"
+        );
+        let mut zboxes = HashMap::new();
+        for site in &site_of_cpu {
+            zboxes.entry(site.index()).or_insert_with(|| Zbox::new(zbox));
+        }
+        LoadTest {
+            net,
+            site_of_cpu,
+            cpus,
+            zboxes,
+            front_overhead,
+            directory_overhead,
+        }
+    }
+
+    fn pick_target(&self, cfg: &LoadTestConfig, cpu: usize, rng: &mut DetRng, seq: u64) -> usize {
+        match cfg.pattern {
+            TrafficPattern::UniformRemote => {
+                if self.cpus.len() == 1 {
+                    0
+                } else {
+                    rng.index_excluding(self.cpus.len(), cpu)
+                }
+            }
+            TrafficPattern::HotSpot(hot) => hot,
+            TrafficPattern::StripedHotSpot(hot, partner) => {
+                if seq % 2 == 0 {
+                    hot
+                } else {
+                    partner
+                }
+            }
+        }
+    }
+
+    /// Run the closed loop to completion.
+    pub fn run(mut self, cfg: &LoadTestConfig) -> LoadTestResult {
+        assert!(cfg.outstanding >= 1, "need at least one outstanding read");
+        let ncpus = self.cpus.len();
+        let mut rngs: Vec<DetRng> = (0..ncpus)
+            .map(|i| DetRng::seeded(cfg.seed).split(i as u64))
+            .collect();
+        let mut issued = vec![0u64; ncpus];
+        let mut start_of: HashMap<u64, SimTime> = HashMap::new();
+        let mut total_latency = SimDuration::ZERO;
+        let mut completed = 0u64;
+
+        // Prime the windows.
+        let mut to_inject: Vec<(usize, SimTime)> = Vec::new();
+        for cpu in 0..ncpus {
+            for _ in 0..cfg.outstanding.min(cfg.requests_per_cpu) {
+                to_inject.push((cpu, SimTime::ZERO));
+            }
+        }
+        for (cpu, at) in to_inject {
+            self.inject(cfg, cpu, at, &mut rngs, &mut issued, &mut start_of);
+        }
+
+        let mut samples: Vec<UtilSample> = Vec::new();
+        let mut sampler = cfg.sample_interval_ns.map(|interval_ns| Sampler {
+            interval: SimDuration::from_ns(interval_ns),
+            next_at: SimTime::ZERO + SimDuration::from_ns(interval_ns),
+            prev_zbox_busy: vec![SimDuration::ZERO; ncpus],
+            prev_ew_busy: SimDuration::ZERO,
+            prev_ns_busy: SimDuration::ZERO,
+        });
+
+        while let Some(step) = self.net.step() {
+            if let Some(s) = sampler.as_mut() {
+                while self.net.now() >= s.next_at {
+                    samples.push(s.capture(&self.net, &self.cpus, &self.site_of_cpu, &self.zboxes));
+                }
+            }
+            let Step::Delivered(d) = step else { continue };
+            match d.class {
+                MessageClass::Request => self.serve_at_home(&d),
+                MessageClass::BlockResponse => {
+                    let cpu = (d.tag >> 32) as usize;
+                    let started = start_of.remove(&d.tag).expect("unknown response tag");
+                    total_latency +=
+                        d.delivered_at.since(started) + self.front_overhead;
+                    completed += 1;
+                    if issued[cpu] < cfg.requests_per_cpu as u64 {
+                        let now = self.net.now();
+                        self.inject(cfg, cpu, now, &mut rngs, &mut issued, &mut start_of);
+                    }
+                }
+                other => panic!("unexpected class {other:?}"),
+            }
+        }
+
+        let elapsed = self.net.now().since(SimTime::ZERO);
+        let delivered_gbps = if elapsed > SimDuration::ZERO {
+            completed as f64 * 64.0 / elapsed.as_secs() / 1e9
+        } else {
+            0.0
+        };
+        let now = self.net.now();
+        let nodes = self
+            .cpus
+            .iter()
+            .map(|&cpu| NodeStat {
+                node: cpu.index(),
+                zbox_utilization: self
+                    .zboxes
+                    .get(&self.site_of_cpu[cpu.index()].index())
+                    .map_or(0.0, |z| z.utilization(now)),
+                ip_utilization: self.net.node_ip_utilization(cpu),
+            })
+            .collect();
+        LoadTestResult {
+            mean_latency: if completed == 0 {
+                SimDuration::ZERO
+            } else {
+                total_latency / completed
+            },
+            delivered_gbps,
+            completed,
+            elapsed,
+            horizontal_util: self
+                .net
+                .mean_utilization_where(|d| d.is_some_and(|d| d.is_horizontal())),
+            vertical_util: self
+                .net
+                .mean_utilization_where(|d| d.is_some_and(|d| !d.is_horizontal())),
+            nodes,
+            samples,
+        }
+    }
+
+    fn inject(
+        &mut self,
+        cfg: &LoadTestConfig,
+        cpu: usize,
+        at: SimTime,
+        rngs: &mut [DetRng],
+        issued: &mut [u64],
+        start_of: &mut HashMap<u64, SimTime>,
+    ) {
+        let seq = issued[cpu];
+        issued[cpu] += 1;
+        let target = self.pick_target(cfg, cpu, &mut rngs[cpu], seq);
+        let site = self.site_of_cpu[self.cpus[target].index()];
+        let tag = ((cpu as u64) << 32) | seq;
+        start_of.insert(tag, at);
+        self.net
+            .send(at, self.cpus[cpu], site, MessageClass::Request, 16, tag);
+    }
+
+    /// A request reached the home: directory + memory, then the response.
+    fn serve_at_home(&mut self, d: &Delivery) {
+        let now = self.net.now();
+        let zbox = self
+            .zboxes
+            .get_mut(&d.dst.index())
+            .expect("request delivered to a non-memory site");
+        // Synthesize a random-ish line address from the tag so the page
+        // table sees load-test-like (page-unfriendly) behaviour.
+        let addr = Addr::new((d.tag.wrapping_mul(0x9E3779B97F4A7C15) >> 16) & 0x3FFF_FFC0);
+        let acc = zbox.access(now + self.directory_overhead, addr, 64);
+        let requester = NodeId::new((d.tag >> 32) as usize);
+        let requester = self.cpus[requester.index()];
+        self.net.send(
+            acc.completed,
+            d.dst,
+            requester,
+            MessageClass::BlockResponse,
+            80,
+            d.tag,
+        );
+    }
+}
+
+/// Interval-sampling state for the Xmesh strip charts.
+struct Sampler {
+    interval: SimDuration,
+    next_at: SimTime,
+    prev_zbox_busy: Vec<SimDuration>,
+    prev_ew_busy: SimDuration,
+    prev_ns_busy: SimDuration,
+}
+
+impl Sampler {
+    fn capture<T: Topology>(
+        &mut self,
+        net: &NetworkSim<T>,
+        cpus: &[NodeId],
+        site_of_cpu: &[NodeId],
+        zboxes: &HashMap<usize, Zbox>,
+    ) -> UtilSample {
+        let window = self.interval.as_ps() as f64;
+        let mut zbox = Vec::with_capacity(cpus.len());
+        for (i, &cpu) in cpus.iter().enumerate() {
+            let busy = zboxes
+                .get(&site_of_cpu[cpu.index()].index())
+                .map_or(SimDuration::ZERO, Zbox::busy_time);
+            let delta = busy - self.prev_zbox_busy[i].min(busy);
+            self.prev_zbox_busy[i] = busy;
+            zbox.push((delta.as_ps() as f64 / window).min(1.0));
+        }
+        let ew = net.mean_busy_where(|d| d.is_some_and(|d| d.is_horizontal()));
+        let ns = net.mean_busy_where(|d| d.is_some_and(|d| !d.is_horizontal()));
+        let ew_delta = ew - self.prev_ew_busy.min(ew);
+        let ns_delta = ns - self.prev_ns_busy.min(ns);
+        self.prev_ew_busy = ew;
+        self.prev_ns_busy = ns;
+        let sample = UtilSample {
+            at_ns: SimTime::from_ps(self.next_at.as_ps()).as_ns(),
+            zbox,
+            east_west: (ew_delta.as_ps() as f64 / window).min(1.0),
+            north_south: (ns_delta.as_ps() as f64 / window).min(1.0),
+        };
+        self.next_at = self.next_at + self.interval;
+        sample
+    }
+}
+
+/// Convenience: a load test over a GS1280.
+pub fn gs1280_load_test(machine: &crate::Gs1280) -> LoadTest<crate::gs1280::FabricTopo> {
+    let calib = machine.calibration();
+    let cpus = machine.cpus();
+    // Both Zboxes of a node serve the load test: double the per-controller
+    // bandwidth.
+    let zbox = ZboxConfig {
+        bandwidth_gbps: calib.zbox.bandwidth_gbps * 2.0,
+        ..calib.zbox
+    };
+    LoadTest::new(
+        machine.network(),
+        (0..cpus).map(NodeId::new).collect(),
+        zbox,
+        calib.local_fixed,
+        calib.remote_fixed,
+    )
+}
+
+/// Convenience: a load test over a GS320.
+pub fn gs320_load_test(machine: &crate::Gs320) -> LoadTest<alphasim_topology::QbbTree> {
+    let calib = machine.calibration();
+    let sites = (0..machine.cpus())
+        .map(|c| machine.memory_site(NodeId::new(c)))
+        .collect();
+    LoadTest::new(
+        machine.network(),
+        sites,
+        calib.zbox,
+        calib.local_fixed,
+        calib.remote_fixed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gs1280, Gs320};
+
+    fn run16(outstanding: usize) -> LoadTestResult {
+        let m = Gs1280::builder().cpus(16).build();
+        gs1280_load_test(&m).run(&LoadTestConfig {
+            outstanding,
+            requests_per_cpu: 100,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let r = run16(4);
+        assert_eq!(r.completed, 16 * 100);
+        assert!(r.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_outstanding_latency_is_near_unloaded_average() {
+        let r = run16(1);
+        // Unloaded random-pair average on 16P is ~190 ns (Fig. 12); the
+        // event-driven path adds serialization and closed-page penalties, so
+        // accept a generous band.
+        let ns = r.mean_latency.as_ns();
+        assert!((150.0..320.0).contains(&ns), "latency {ns}");
+    }
+
+    #[test]
+    fn bandwidth_grows_with_window_then_latency_rises() {
+        let light = run16(1);
+        let heavy = run16(16);
+        assert!(heavy.delivered_gbps > light.delivered_gbps * 3.0);
+        assert!(heavy.mean_latency > light.mean_latency);
+    }
+
+    #[test]
+    fn gs320_saturates_far_below_gs1280() {
+        let g = Gs320::new(16);
+        let r320 = gs320_load_test(&g).run(&LoadTestConfig {
+            outstanding: 8,
+            requests_per_cpu: 60,
+            ..Default::default()
+        });
+        let r1280 = run16(8);
+        assert!(
+            r1280.delivered_gbps > 4.0 * r320.delivered_gbps,
+            "GS1280 {} vs GS320 {}",
+            r1280.delivered_gbps,
+            r320.delivered_gbps
+        );
+        assert!(r320.mean_latency > r1280.mean_latency * 2);
+    }
+
+    #[test]
+    fn hot_spot_saturates_one_node() {
+        let m = Gs1280::builder().cpus(16).build();
+        let r = gs1280_load_test(&m).run(&LoadTestConfig {
+            outstanding: 8,
+            requests_per_cpu: 60,
+            pattern: TrafficPattern::HotSpot(0),
+            ..Default::default()
+        });
+        let hot = r.nodes[0].zbox_utilization;
+        let others: f64 = r.nodes[1..]
+            .iter()
+            .map(|n| n.zbox_utilization)
+            .sum::<f64>()
+            / 15.0;
+        assert!(hot > 0.3, "hot node util {hot}");
+        assert_eq!(others, 0.0, "only node 0 serves memory");
+    }
+
+    #[test]
+    fn striped_hot_spot_outperforms_plain_hot_spot() {
+        // Fig. 26: striping spreads a hot spot over two CPUs.
+        let m = Gs1280::builder().cpus(16).build();
+        let plain = gs1280_load_test(&m).run(&LoadTestConfig {
+            outstanding: 12,
+            requests_per_cpu: 60,
+            pattern: TrafficPattern::HotSpot(0),
+            ..Default::default()
+        });
+        let striped = gs1280_load_test(&m).run(&LoadTestConfig {
+            outstanding: 12,
+            requests_per_cpu: 60,
+            pattern: TrafficPattern::StripedHotSpot(0, 4),
+            ..Default::default()
+        });
+        assert!(
+            striped.delivered_gbps > plain.delivered_gbps * 1.2,
+            "striped {} plain {}",
+            striped.delivered_gbps,
+            plain.delivered_gbps
+        );
+        assert!(striped.mean_latency < plain.mean_latency);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run16(4);
+        let b = run16(4);
+        assert_eq!(a.mean_latency, b.mean_latency);
+        assert_eq!(a.delivered_gbps, b.delivered_gbps);
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::*;
+    use crate::Gs1280;
+
+    #[test]
+    fn sampler_produces_periodic_interval_utilizations() {
+        let m = Gs1280::builder().cpus(16).build();
+        let r = gs1280_load_test(&m).run(&LoadTestConfig {
+            outstanding: 8,
+            requests_per_cpu: 150,
+            sample_interval_ns: Some(1_000.0),
+            ..Default::default()
+        });
+        assert!(r.samples.len() >= 3, "{} samples", r.samples.len());
+        for (i, s) in r.samples.iter().enumerate() {
+            assert_eq!(s.zbox.len(), 16);
+            assert!((s.at_ns - 1_000.0 * (i + 1) as f64).abs() < 1e-6);
+            for &u in &s.zbox {
+                assert!((0.0..=1.0).contains(&u));
+            }
+            assert!((0.0..=1.0).contains(&s.east_west));
+            assert!((0.0..=1.0).contains(&s.north_south));
+        }
+        // Under sustained uniform load the mid-run samples show traffic.
+        let mid = &r.samples[r.samples.len() / 2];
+        assert!(
+            mid.east_west + mid.north_south > 0.01,
+            "links idle mid-run: {mid:?}"
+        );
+    }
+
+    #[test]
+    fn no_sampling_by_default() {
+        let m = Gs1280::builder().cpus(8).build();
+        let r = gs1280_load_test(&m).run(&LoadTestConfig {
+            outstanding: 2,
+            requests_per_cpu: 20,
+            ..Default::default()
+        });
+        assert!(r.samples.is_empty());
+    }
+}

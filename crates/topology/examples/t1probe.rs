@@ -1,0 +1,94 @@
+//! Scratch probe for Table 1 constructions (not part of the library API).
+use alphasim_topology::graph::{bisection_width, DistanceMatrix};
+use alphasim_topology::{Coord, Direction, LinkClass, NodeId, Port, Topology};
+
+/// Torus with vertical wraps twisted by `tv` columns and horizontal wraps
+/// twisted by `th` rows.
+struct BiTwist {
+    cols: usize,
+    rows: usize,
+    ports: Vec<Vec<Port>>,
+}
+
+impl BiTwist {
+    fn new(cols: usize, rows: usize, tv: usize, th: usize) -> Self {
+        let node = |x: usize, y: usize| NodeId::new(y * cols + x);
+        let mut ports = vec![Vec::new(); cols * rows];
+        for y in 0..rows {
+            for x in 0..cols {
+                let mut ps = Vec::new();
+                // East
+                if x + 1 < cols {
+                    ps.push(Port::directed(node(x + 1, y), LinkClass::Board, Direction::East));
+                } else {
+                    ps.push(Port::directed(node(0, (y + th) % rows), LinkClass::Shuffle, Direction::East));
+                }
+                // West
+                if x > 0 {
+                    ps.push(Port::directed(node(x - 1, y), LinkClass::Board, Direction::West));
+                } else {
+                    ps.push(Port::directed(node(cols - 1, (y + rows - th) % rows), LinkClass::Shuffle, Direction::West));
+                }
+                // South
+                if y + 1 < rows {
+                    ps.push(Port::directed(node(x, y + 1), LinkClass::Board, Direction::South));
+                } else {
+                    ps.push(Port::directed(node((x + tv) % cols, 0), LinkClass::Shuffle, Direction::South));
+                }
+                // North
+                if y > 0 {
+                    ps.push(Port::directed(node(x, y - 1), LinkClass::Board, Direction::North));
+                } else {
+                    ps.push(Port::directed(node((x + cols - tv) % cols, rows - 1), LinkClass::Shuffle, Direction::North));
+                }
+                ports[node(x, y).index()] = ps;
+            }
+        }
+        BiTwist { cols, rows, ports }
+    }
+}
+
+impl Topology for BiTwist {
+    fn name(&self) -> String {
+        format!("bitwist-{}x{}", self.cols, self.rows)
+    }
+    fn node_count(&self) -> usize {
+        self.cols * self.rows
+    }
+    fn ports(&self, node: NodeId) -> &[Port] {
+        &self.ports[node.index()]
+    }
+    fn is_endpoint(&self, _node: NodeId) -> bool {
+        true
+    }
+    fn coord(&self, node: NodeId) -> Option<Coord> {
+        Some(Coord::new(node.index() % self.cols, node.index() / self.cols))
+    }
+}
+
+fn main() {
+    println!("targets: 4x2 1.200/1.500/2 | 4x4 1.067/1.333/1 | 8x4 1.171/1.500/2 | 8x8 1.185/1.333/1 | 16x8 1.371/1.500/2 | 16x16 1.454/1.778/1");
+    for (c, r) in [(4usize, 2usize), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16)] {
+        let t = alphasim_topology::Torus2D::new(c, r);
+        let dt = DistanceMatrix::compute(&t);
+        let (ta, tw) = (dt.average_distance(), dt.diameter());
+        let mut candidates = vec![(c / 2, 0), (c / 2, r / 2)];
+        if r >= 4 {
+            candidates.push((c / 2, r / 4));
+        }
+        if c >= 8 {
+            candidates.push((c / 4, r / 2));
+        }
+        for (tv, th) in candidates {
+            let b = BiTwist::new(c, r, tv, th);
+            let db = DistanceMatrix::compute(&b);
+            println!(
+                "{c}x{r} twist v{tv} h{th}: avg {:.3} worst {:.3} ({}) bis {:.3}",
+                ta / db.average_distance(),
+                f64::from(tw) / f64::from(db.diameter()),
+                db.diameter(),
+                bisection_width(&b) as f64 / bisection_width(&t) as f64
+            );
+        }
+    }
+}

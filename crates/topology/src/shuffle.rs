@@ -1,0 +1,244 @@
+//! The paper's "shuffle" interconnect (§4.1, Figs. 16–17, Table 1).
+//!
+//! The GS1280's torus has spare vertical connectivity: in an 8-CPU (4×2)
+//! machine the North and South links of each node reach the *same* neighbor.
+//! The paper's proposal re-aims one of these redundant links at the farthest
+//! node — a simple cable swap. We generalise exactly as Table 1 does, to
+//! tall tori without redundant links, by re-aiming the North–South
+//! *wrap-around* cables: the wrap link that closed column `c` now connects
+//! row `rows-1` of column `c` to row `0` of column `(c + cols/2) mod cols`.
+//! The result is a twisted torus.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Coord, Direction, LinkClass, NodeId, Port};
+use crate::torus::Torus2D;
+use crate::Topology;
+
+/// A `cols × rows` torus with the shuffle rewiring applied.
+///
+/// * `rows == 2`: each node keeps one plain vertical link to its partner and
+///   gains a [`LinkClass::Shuffle`] link to the other row at column
+///   `x + cols/2` (the redundant-link swap of Fig. 17).
+/// * `rows >= 3`: the vertical wrap cables are twisted by `cols/2` columns;
+///   all other links are unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_topology::{ShuffleTorus, Topology};
+/// let s = ShuffleTorus::new(4, 2); // the paper's 8-CPU prototype
+/// assert_eq!(s.node_count(), 8);
+/// // Shuffle shortens the diameter from 3 to 2 (Table 1: worst 1.5x).
+/// use alphasim_topology::graph::DistanceMatrix;
+/// assert_eq!(DistanceMatrix::compute(&s).diameter(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShuffleTorus {
+    base: Torus2D,
+    ports: Vec<Vec<Port>>,
+}
+
+impl ShuffleTorus {
+    /// A shuffled torus with `cols` columns and `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is odd or less than 4 (the twist needs a distinct
+    /// "farthest column"), or if `rows < 2`.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(
+            cols >= 4 && cols % 2 == 0,
+            "shuffle needs an even column count >= 4"
+        );
+        assert!(rows >= 2, "shuffle needs at least two rows");
+        let base = Torus2D::new(cols, rows);
+        let twist = cols / 2;
+        let mut ports: Vec<Vec<Port>> = Vec::with_capacity(cols * rows);
+        for i in 0..cols * rows {
+            let node = NodeId::new(i);
+            let c = base.coord_of(node);
+            let (x, y) = (c.x as usize, c.y as usize);
+            let mut node_ports = Vec::with_capacity(4);
+            for p in base.ports(node) {
+                let dir = p.dir.expect("torus ports are directed");
+                if dir.is_horizontal() {
+                    node_ports.push(*p);
+                    continue;
+                }
+                if rows == 2 {
+                    // Keep exactly one plain vertical link (say, South) and
+                    // replace the redundant one (North) with the shuffle link.
+                    match dir {
+                        Direction::South => node_ports.push(*p),
+                        Direction::North => {
+                            let tx = (x + twist) % cols;
+                            let ty = 1 - y;
+                            node_ports.push(Port::directed(
+                                base.node_at(Coord::new(tx, ty)),
+                                LinkClass::Shuffle,
+                                Direction::North,
+                            ));
+                        }
+                        _ => unreachable!(),
+                    }
+                    continue;
+                }
+                // rows >= 3: twist only the wrap cables.
+                let wraps_north = dir == Direction::North && y == 0;
+                let wraps_south = dir == Direction::South && y == rows - 1;
+                if wraps_north {
+                    // Reverse of some column's twisted wrap: the wrap that
+                    // *arrives* at (x, 0) comes from column (x - twist).
+                    let sx = (x + cols - twist) % cols;
+                    node_ports.push(Port::directed(
+                        base.node_at(Coord::new(sx, rows - 1)),
+                        LinkClass::Shuffle,
+                        Direction::North,
+                    ));
+                } else if wraps_south {
+                    let tx = (x + twist) % cols;
+                    node_ports.push(Port::directed(
+                        base.node_at(Coord::new(tx, 0)),
+                        LinkClass::Shuffle,
+                        Direction::South,
+                    ));
+                } else {
+                    node_ports.push(*p);
+                }
+            }
+            ports.push(node_ports);
+        }
+        ShuffleTorus { base, ports }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.base.cols()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// The node at a coordinate (same layout as the underlying torus).
+    pub fn node_at(&self, coord: Coord) -> NodeId {
+        self.base.node_at(coord)
+    }
+
+    /// The untwisted torus this shuffle was derived from.
+    pub fn base(&self) -> &Torus2D {
+        &self.base
+    }
+}
+
+impl Topology for ShuffleTorus {
+    fn name(&self) -> String {
+        format!("shuffle-{}x{}", self.base.cols(), self.base.rows())
+    }
+
+    fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    fn ports(&self, node: NodeId) -> &[Port] {
+        &self.ports[node.index()]
+    }
+
+    fn is_endpoint(&self, _node: NodeId) -> bool {
+        true
+    }
+
+    fn coord(&self, node: NodeId) -> Option<Coord> {
+        self.base.coord(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DistanceMatrix;
+
+    #[test]
+    fn degree_is_preserved() {
+        for (c, r) in [(4, 2), (4, 4), (8, 4), (8, 8)] {
+            let s = ShuffleTorus::new(c, r);
+            for i in 0..s.node_count() {
+                assert_eq!(s.ports(NodeId::new(i)).len(), 4, "{c}x{r} node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn links_remain_symmetric() {
+        for (c, r) in [(4, 2), (4, 4), (8, 4), (16, 8), (16, 16)] {
+            let s = ShuffleTorus::new(c, r);
+            for i in 0..s.node_count() {
+                let n = NodeId::new(i);
+                for p in s.ports(n) {
+                    assert!(
+                        s.ports(p.to).iter().any(|q| q.to == n),
+                        "{}: no reverse for {n}->{}",
+                        s.name(),
+                        p.to
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_4x2_matches_figure_17() {
+        // Node (0,0) keeps E/W, one vertical to (0,1), one shuffle to (2,1).
+        let s = ShuffleTorus::new(4, 2);
+        let n0 = s.node_at(Coord::new(0, 0));
+        let targets: Vec<NodeId> = s.ports(n0).iter().map(|p| p.to).collect();
+        assert!(targets.contains(&s.node_at(Coord::new(1, 0))));
+        assert!(targets.contains(&s.node_at(Coord::new(3, 0))));
+        assert!(targets.contains(&s.node_at(Coord::new(0, 1))));
+        assert!(targets.contains(&s.node_at(Coord::new(2, 1))));
+    }
+
+    #[test]
+    fn shuffle_4x2_average_distance_improves_by_1_2x() {
+        // Table 1, first row: average latency gain 1.200.
+        let torus = DistanceMatrix::compute(&Torus2D::new(4, 2));
+        let shuffle = DistanceMatrix::compute(&ShuffleTorus::new(4, 2));
+        let ratio = torus.average_distance() / shuffle.average_distance();
+        assert!((ratio - 1.2).abs() < 1e-9, "got {ratio}");
+    }
+
+    #[test]
+    fn tall_shuffle_twists_only_the_wrap() {
+        let s = ShuffleTorus::new(8, 4);
+        // Interior vertical link is untouched.
+        let n = s.node_at(Coord::new(3, 1));
+        assert!(s.ports(n).iter().any(|p| p.to == s.node_at(Coord::new(3, 2))
+            && p.class != LinkClass::Shuffle));
+        // Wrap from the bottom row lands cols/2 away.
+        let bottom = s.node_at(Coord::new(0, 3));
+        let shuffle_port = s
+            .ports(bottom)
+            .iter()
+            .find(|p| p.class == LinkClass::Shuffle)
+            .expect("bottom row has a shuffle port");
+        assert_eq!(shuffle_port.to, s.node_at(Coord::new(4, 0)));
+    }
+
+    #[test]
+    fn shuffle_never_lengthens_distances() {
+        for (c, r) in [(4, 2), (4, 4), (8, 4)] {
+            let torus = DistanceMatrix::compute(&Torus2D::new(c, r));
+            let shuf = DistanceMatrix::compute(&ShuffleTorus::new(c, r));
+            assert!(shuf.average_distance() <= torus.average_distance() + 1e-12);
+            assert!(shuf.diameter() <= torus.diameter());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even column count")]
+    fn rejects_odd_columns() {
+        let _ = ShuffleTorus::new(5, 4);
+    }
+}

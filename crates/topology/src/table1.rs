@@ -1,0 +1,201 @@
+//! Table 1 of the paper: analytical performance gains of the shuffle
+//! interconnect over the plain torus.
+//!
+//! For each machine shape the paper reports three ratios (torus value over
+//! shuffle value for the latency columns, shuffle over torus for bisection —
+//! in all three columns larger means "shuffle better"):
+//!
+//! ```text
+//!            aver. latency   worst latency   bisection width
+//!   4x2        1.200           1.500           2.000
+//!   4x4        1.067           1.333           1.000
+//!   8x4        1.171           1.500           2.000
+//!   8x8        1.185           1.333           1.000
+//!   16x8       1.371           1.500           2.000
+//!   16x16      1.454           1.778           1.000
+//! ```
+//!
+//! # Reconstruction fidelity
+//!
+//! The paper attributes these numbers to "a simple analytical model" it does
+//! not specify; only the 8-CPU (4×2) cable swap is drawn (Figs. 16–17). Our
+//! [`ShuffleTorus`] generalises that swap as a twisted torus, which
+//! reproduces the 4×2 and 4×4 rows *exactly*, the 8×4 row within 3 %, and
+//! the worst-latency and bisection columns for every shape except the
+//! worst-latency entry of 16×16 (paper 1.778, twisted torus 1.333). The
+//! paper's average-latency gains *grow* with system size, which no
+//! degree-preserving re-aiming of wrap cables achieves (a twist of `P/2`
+//! matters less as rings grow); the published large-shape averages likely
+//! come from a more aggressive hypothetical rewiring. EXPERIMENTS.md tables
+//! report computed-vs-paper for all 18 cells.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{bisection_width, DistanceMatrix};
+use crate::{ShuffleTorus, Torus2D};
+
+/// The shuffle-vs-torus gains for one machine shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShuffleGains {
+    /// Columns of the torus.
+    pub cols: usize,
+    /// Rows of the torus.
+    pub rows: usize,
+    /// Torus average hop distance / shuffle average hop distance.
+    pub avg_latency_gain: f64,
+    /// Torus diameter / shuffle diameter.
+    pub worst_latency_gain: f64,
+    /// Shuffle bisection width / torus bisection width.
+    pub bisection_gain: f64,
+    /// Raw torus metrics `(avg, worst, bisection)`.
+    pub torus: (f64, u32, usize),
+    /// Raw shuffle metrics `(avg, worst, bisection)`.
+    pub shuffle: (f64, u32, usize),
+}
+
+/// Compute the three Table 1 ratios for a `cols × rows` machine.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_topology::table1::shuffle_gains;
+/// let g = shuffle_gains(4, 2);
+/// assert!((g.avg_latency_gain - 1.2).abs() < 1e-9);
+/// assert!((g.worst_latency_gain - 1.5).abs() < 1e-9);
+/// assert!((g.bisection_gain - 2.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics on shapes the shuffle construction does not support
+/// (odd or <4 columns, <2 rows).
+pub fn shuffle_gains(cols: usize, rows: usize) -> ShuffleGains {
+    let torus = Torus2D::new(cols, rows);
+    let shuffle = ShuffleTorus::new(cols, rows);
+    let dt = DistanceMatrix::compute(&torus);
+    let ds = DistanceMatrix::compute(&shuffle);
+    let torus_metrics = (
+        dt.average_distance(),
+        dt.diameter(),
+        bisection_width(&torus),
+    );
+    let shuffle_metrics = (
+        ds.average_distance(),
+        ds.diameter(),
+        bisection_width(&shuffle),
+    );
+    ShuffleGains {
+        cols,
+        rows,
+        avg_latency_gain: torus_metrics.0 / shuffle_metrics.0,
+        worst_latency_gain: f64::from(torus_metrics.1) / f64::from(shuffle_metrics.1),
+        bisection_gain: shuffle_metrics.2 as f64 / torus_metrics.2 as f64,
+        torus: torus_metrics,
+        shuffle: shuffle_metrics,
+    }
+}
+
+/// The machine shapes of Table 1, as `(cols, rows)`.
+pub const TABLE1_SHAPES: [(usize, usize); 6] =
+    [(4, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16)];
+
+/// The paper's published Table 1 values, in [`TABLE1_SHAPES`] order:
+/// `(avg latency, worst latency, bisection width)` gains.
+pub const TABLE1_PAPER: [(f64, f64, f64); 6] = [
+    (1.200, 1.500, 2.000),
+    (1.067, 1.333, 1.000),
+    (1.171, 1.500, 2.000),
+    (1.185, 1.333, 1.000),
+    (1.371, 1.500, 2.000),
+    (1.454, 1.778, 1.000),
+];
+
+/// Compute the whole of Table 1.
+pub fn table1() -> Vec<ShuffleGains> {
+    TABLE1_SHAPES
+        .iter()
+        .map(|&(c, r)| shuffle_gains(c, r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_shapes_double_bisection() {
+        for &(c, r) in &[(4usize, 2usize), (8, 4), (16, 8)] {
+            let g = shuffle_gains(c, r);
+            assert!(
+                (g.bisection_gain - 2.0).abs() < 1e-9,
+                "{c}x{r}: {}",
+                g.bisection_gain
+            );
+        }
+    }
+
+    #[test]
+    fn square_shapes_keep_bisection() {
+        for &(c, r) in &[(4usize, 4usize), (8, 8), (16, 16)] {
+            let g = shuffle_gains(c, r);
+            assert!(
+                (g.bisection_gain - 1.0).abs() < 1e-9,
+                "{c}x{r}: {}",
+                g.bisection_gain
+            );
+        }
+    }
+
+    #[test]
+    fn worst_latency_gains_match_paper_except_16x16() {
+        // See the module docs: our reconstruction matches the worst-case
+        // column everywhere but the extrapolated 16x16 entry.
+        for (&(c, r), &(_, worst, _)) in TABLE1_SHAPES.iter().zip(TABLE1_PAPER.iter()) {
+            if (c, r) == (16, 16) {
+                continue;
+            }
+            let g = shuffle_gains(c, r);
+            assert!(
+                (g.worst_latency_gain - worst).abs() < 0.01,
+                "{c}x{r}: computed {} vs paper {worst}",
+                g.worst_latency_gain
+            );
+        }
+    }
+
+    #[test]
+    fn small_shape_average_gains_match_paper_exactly() {
+        // 4x2 and 4x4 are the shapes the paper actually draws; the
+        // twisted-torus reconstruction reproduces them exactly, and 8x4
+        // within 3%.
+        let g = shuffle_gains(4, 2);
+        assert!((g.avg_latency_gain - 1.200).abs() < 1e-9);
+        let g = shuffle_gains(4, 4);
+        assert!((g.avg_latency_gain - 1.067).abs() < 1e-3);
+        let g = shuffle_gains(8, 4);
+        assert!((g.avg_latency_gain - 1.171).abs() / 1.171 < 0.03);
+    }
+
+    #[test]
+    fn rectangular_shapes_gain_more_than_squares() {
+        // The paper's qualitative claim: "shuffle is more beneficial in
+        // rectangular rather than in square shaped interconnects".
+        let t = table1();
+        // Shapes alternate rect, square, rect, square, rect, square.
+        for pair in t.chunks(2) {
+            let (rect, square) = (&pair[0], &pair[1]);
+            assert!(rect.bisection_gain > square.bisection_gain);
+            assert!(rect.worst_latency_gain > square.worst_latency_gain);
+            assert!(rect.avg_latency_gain > square.avg_latency_gain);
+        }
+    }
+
+    #[test]
+    fn gains_never_below_one() {
+        for g in table1() {
+            assert!(g.avg_latency_gain >= 1.0 - 1e-9);
+            assert!(g.worst_latency_gain >= 1.0 - 1e-9);
+            assert!(g.bisection_gain >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for topologies and routing.
+
+use alphasim_topology::graph::{bisection_width, DistanceMatrix};
+use alphasim_topology::route::{escape_network_is_acyclic, RoutePolicy, Routes};
+use alphasim_topology::{NodeId, ShuffleTorus, Topology, Torus2D};
+use proptest::prelude::*;
+
+fn torus_shapes() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=8, 1usize..=8).prop_filter("at least 2 nodes", |&(c, r)| c * r >= 2)
+}
+
+fn shuffle_shapes() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=6, 1usize..=4).prop_map(|(c2, r)| (2 * c2, r + 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hop distances are a metric: symmetric, zero iff equal, triangle
+    /// inequality.
+    #[test]
+    fn torus_distance_is_a_metric((c, r) in torus_shapes()) {
+        let t = Torus2D::new(c, r);
+        let d = DistanceMatrix::compute(&t);
+        let n = t.node_count();
+        for a in 0..n {
+            prop_assert_eq!(d.distance(NodeId::new(a), NodeId::new(a)), 0);
+            for b in 0..n {
+                let ab = d.distance(NodeId::new(a), NodeId::new(b));
+                prop_assert_eq!(ab, d.distance(NodeId::new(b), NodeId::new(a)));
+                if a != b { prop_assert!(ab > 0); }
+                for k in 0..n {
+                    prop_assert!(
+                        ab <= d.distance(NodeId::new(a), NodeId::new(k))
+                            + d.distance(NodeId::new(k), NodeId::new(b))
+                    );
+                }
+            }
+        }
+    }
+
+    /// Average distance never exceeds the diameter.
+    #[test]
+    fn average_at_most_worst((c, r) in torus_shapes()) {
+        let t = Torus2D::new(c, r);
+        let d = DistanceMatrix::compute(&t);
+        prop_assert!(d.average_distance() <= f64::from(d.diameter()) + 1e-12);
+        prop_assert!(d.is_connected());
+    }
+
+    /// The shuffle rewiring keeps the fabric connected, degree-4 on torus
+    /// links, and never lengthens the diameter.
+    #[test]
+    fn shuffle_preserves_connectivity((c, r) in shuffle_shapes()) {
+        let t = Torus2D::new(c, r);
+        let s = ShuffleTorus::new(c, r);
+        let dt = DistanceMatrix::compute(&t);
+        let ds = DistanceMatrix::compute(&s);
+        prop_assert!(ds.is_connected());
+        prop_assert!(ds.diameter() <= dt.diameter());
+        prop_assert!(ds.average_distance() <= dt.average_distance() + 1e-12);
+        for i in 0..s.node_count() {
+            prop_assert_eq!(s.ports(NodeId::new(i)).len(), t.ports(NodeId::new(i)).len());
+        }
+    }
+
+    /// Every minimal-port step strictly decreases remaining distance, for
+    /// every policy, so walks terminate at the destination.
+    #[test]
+    fn routes_always_progress((c, r) in shuffle_shapes(), policy_ix in 0usize..3) {
+        let policy = [RoutePolicy::Minimal, RoutePolicy::ShuffleFirstHop,
+                      RoutePolicy::ShuffleFirstTwoHops][policy_ix];
+        let s = ShuffleTorus::new(c, r);
+        let routes = Routes::compute(&s, policy);
+        let n = s.node_count();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b { continue; }
+                let (src, dst) = (NodeId::new(a), NodeId::new(b));
+                let mut at = src;
+                let mut taken = 0u32;
+                while at != dst {
+                    let d = routes.distance(at, taken, dst);
+                    let ports = routes.minimal_ports(&s, at, taken, dst);
+                    prop_assert!(!ports.is_empty());
+                    at = s.ports(at)[ports[0]].to;
+                    taken += 1;
+                    prop_assert_eq!(routes.distance(at, taken, dst) + 1, d);
+                    prop_assert!(taken < 64);
+                }
+            }
+        }
+    }
+
+    /// The dimension-order escape network with dateline VCs is deadlock
+    /// free on every torus shape.
+    #[test]
+    fn escape_network_acyclic((c, r) in (2usize..=6, 2usize..=6)) {
+        prop_assert!(escape_network_is_acyclic(&Torus2D::new(c, r), true));
+    }
+
+    /// Bisection width is positive and no more than the total link count.
+    #[test]
+    fn bisection_is_sane((c2, r2) in (1usize..=4, 1usize..=4)) {
+        let (c, r) = (2 * c2, 2 * r2);
+        let t = Torus2D::new(c, r);
+        let b = bisection_width(&t);
+        prop_assert!(b > 0);
+        prop_assert!(b <= t.link_count() / 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! GUPS — Giga-Updates Per Second (paper §5.3, Figs. 23–24).
+//!
+//! Each thread repeatedly updates a randomly chosen element of a table that
+//! "spans the entire memory in the system", so nearly every update is a
+//! remote access and aggregate throughput is limited by inter-processor
+//! (bisection) bandwidth — the resource where the GS1280 is over 10× ahead
+//! of the GS320.
+//!
+//! This module provides the kernel semantics (an actual XOR-update table
+//! with verification) and the index → home-CPU mapping; the throughput
+//! experiment composes these with the load-test engine in
+//! `alphasim-system`.
+
+use alphasim_kernel::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// A GUPS table configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GupsConfig {
+    /// Table entries (power of two).
+    pub entries: u64,
+    /// CPUs sharing the table (it is distributed round-robin by block).
+    pub cpus: usize,
+}
+
+impl GupsConfig {
+    /// A table of `entries` (power of two) spread over `cpus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `cpus` is zero.
+    pub fn new(entries: u64, cpus: usize) -> Self {
+        assert!(entries.is_power_of_two(), "GUPS tables are 2^k entries");
+        assert!(cpus > 0, "need at least one CPU");
+        GupsConfig { entries, cpus }
+    }
+
+    /// The home CPU of table index `i`: the table spans all memory, in
+    /// equal contiguous blocks per CPU.
+    pub fn home_of(&self, i: u64) -> usize {
+        assert!(i < self.entries, "index out of table");
+        ((i as u128 * self.cpus as u128) / self.entries as u128) as usize
+    }
+
+    /// Fraction of updates from `cpu` that touch remote memory under
+    /// uniform random indices: `(cpus-1)/cpus`.
+    pub fn remote_fraction(&self) -> f64 {
+        (self.cpus - 1) as f64 / self.cpus as f64
+    }
+}
+
+/// An executable GUPS instance: a real table, real XOR updates, and the
+/// reference benchmark's self-check (re-applying the same update stream
+/// restores the initial table).
+#[derive(Debug, Clone)]
+pub struct Gups {
+    config: GupsConfig,
+    table: Vec<u64>,
+}
+
+impl Gups {
+    /// A table initialised as `table[i] = i`.
+    pub fn new(config: GupsConfig) -> Self {
+        Gups {
+            config,
+            table: (0..config.entries).collect(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> GupsConfig {
+        self.config
+    }
+
+    /// Apply `updates` XOR updates driven by `rng`, returning the sequence
+    /// of updated indices (for traffic replay).
+    pub fn run(&mut self, rng: &mut DetRng, updates: u64) -> Vec<u64> {
+        let mask = self.config.entries - 1;
+        let mut touched = Vec::with_capacity(updates as usize);
+        for _ in 0..updates {
+            let r = rng.bits();
+            let idx = r & mask;
+            self.table[idx as usize] ^= r;
+            touched.push(idx);
+        }
+        touched
+    }
+
+    /// The benchmark's verification: XOR is an involution, so replaying an
+    /// identical update stream restores `table[i] == i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first corrupted index.
+    pub fn verify_restored(&self) -> Result<(), u64> {
+        for (i, &v) in self.table.iter().enumerate() {
+            if v != i as u64 {
+                return Err(i as u64);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_mapping_is_balanced() {
+        let cfg = GupsConfig::new(1 << 16, 16);
+        let mut counts = vec![0u64; 16];
+        for i in 0..cfg.entries {
+            counts[cfg.home_of(i)] += 1;
+        }
+        for &c in &counts {
+            assert_eq!(c, (1 << 16) / 16);
+        }
+    }
+
+    #[test]
+    fn home_mapping_is_monotone_blocks() {
+        let cfg = GupsConfig::new(1 << 10, 4);
+        assert_eq!(cfg.home_of(0), 0);
+        assert_eq!(cfg.home_of(255), 0);
+        assert_eq!(cfg.home_of(256), 1);
+        assert_eq!(cfg.home_of(1023), 3);
+    }
+
+    #[test]
+    fn remote_fraction_grows_with_cpus() {
+        assert_eq!(GupsConfig::new(64, 1).remote_fraction(), 0.0);
+        assert!((GupsConfig::new(64, 32).remote_fraction() - 31.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_updates_are_reversible() {
+        let mut g = Gups::new(GupsConfig::new(1 << 12, 4));
+        let mut rng = DetRng::seeded(42);
+        g.run(&mut rng, 10_000);
+        assert!(g.verify_restored().is_err(), "table must actually change");
+        // Replay the identical stream.
+        let mut rng2 = DetRng::seeded(42);
+        g.run(&mut rng2, 10_000);
+        g.verify_restored().unwrap();
+    }
+
+    #[test]
+    fn update_indices_are_uniformish() {
+        let mut g = Gups::new(GupsConfig::new(1 << 8, 4));
+        let mut rng = DetRng::seeded(7);
+        let touched = g.run(&mut rng, 100_000);
+        let mut counts = vec![0u64; 256];
+        for &i in &touched {
+            counts[i as usize] += 1;
+        }
+        let (min, max) = (
+            counts.iter().min().unwrap(),
+            counts.iter().max().unwrap(),
+        );
+        assert!(*min > 250 && *max < 550, "min {min} max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k entries")]
+    fn rejects_non_power_of_two() {
+        let _ = GupsConfig::new(1000, 4);
+    }
+}

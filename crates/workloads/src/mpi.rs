@@ -1,0 +1,159 @@
+//! MPI-style communication cost models (paper §5.2).
+//!
+//! "The kernels are decomposed using MPI and can run on either
+//! shared-memory or cluster systems … The GS1280 provides very high IP-link
+//! bandwidth that in many cases exceeds the needs of MPI applications (many
+//! of which are designed for cluster interconnects with much lower
+//! bandwidth requirements)."
+//!
+//! This module prices the collectives those applications are built from —
+//! point-to-point, 2-D halo exchange, all-reduce, all-to-all — on each
+//! machine, from its latency/bandwidth parameters. The punchline the tests
+//! assert: the GS1280's fabric makes MPI communication nearly free compared
+//! to the cluster, which is why bandwidth-bound MPI codes inherit the
+//! *memory* advantage (Fig. 21) rather than a communication advantage.
+
+use alphasim_system::{Gs1280, Sc45};
+use alphasim_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Per-machine MPI transport parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpiTransport {
+    /// Display name.
+    pub name: &'static str,
+    /// Per-message latency (software + fabric), microseconds.
+    pub latency_us: f64,
+    /// Point-to-point streaming bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl MpiTransport {
+    /// Shared-memory MPI over the GS1280 torus: software overhead
+    /// dominates; the fabric adds tens of nanoseconds and 3.1 GB/s of
+    /// per-direction bandwidth per link.
+    pub fn gs1280(machine: &Gs1280) -> Self {
+        // Average one-way fabric latency enters the per-message cost.
+        let fabric_ns = machine.average_latency_all_pairs().as_ns();
+        MpiTransport {
+            name: "GS1280 shared-memory MPI",
+            latency_us: 1.0 + fabric_ns / 1000.0,
+            bandwidth_gbps: machine.timing().bandwidth_gbps,
+        }
+    }
+
+    /// Quadrics-style cluster MPI on the SC45: user-level messaging in the
+    /// ~5 µs class, ~0.32 GB/s per rail.
+    pub fn sc45(machine: &Sc45) -> Self {
+        let cross_ns = machine
+            .message_latency(NodeId::new(0), NodeId::new(4.min(machine.cpus() - 1)))
+            .as_ns();
+        MpiTransport {
+            name: "SC45 Quadrics MPI",
+            latency_us: 3.0 + cross_ns / 1000.0,
+            bandwidth_gbps: 0.32,
+        }
+    }
+
+    /// Cost of one point-to-point message of `bytes`, in microseconds
+    /// (alpha-beta model).
+    pub fn p2p_us(&self, bytes: u64) -> f64 {
+        self.latency_us + bytes as f64 / (self.bandwidth_gbps * 1e3)
+    }
+
+    /// Cost of a 2-D halo exchange: each rank swaps four faces of
+    /// `face_bytes` with its neighbors (two phases of two concurrent
+    /// sends).
+    pub fn halo2d_us(&self, face_bytes: u64) -> f64 {
+        2.0 * self.p2p_us(face_bytes) * 2.0
+    }
+
+    /// Cost of an all-reduce of `bytes` over `ranks` (recursive doubling:
+    /// `log2(ranks)` rounds of paired exchanges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero.
+    pub fn allreduce_us(&self, ranks: usize, bytes: u64) -> f64 {
+        assert!(ranks > 0, "need at least one rank");
+        (ranks as f64).log2().ceil().max(0.0) * self.p2p_us(bytes)
+    }
+
+    /// Cost of an all-to-all of `bytes` per pair over `ranks` (each rank
+    /// sends `ranks-1` messages; the fabric pipelines them at its
+    /// bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero.
+    pub fn alltoall_us(&self, ranks: usize, bytes: u64) -> f64 {
+        assert!(ranks > 0, "need at least one rank");
+        let msgs = (ranks - 1) as f64;
+        self.latency_us * msgs.min(8.0) // overlapped injection
+            + msgs * bytes as f64 / (self.bandwidth_gbps * 1e3)
+    }
+}
+
+/// Communication share of an iteration: `comm / (comm + compute)`.
+pub fn communication_fraction(comm_us: f64, compute_us: f64) -> f64 {
+    comm_us / (comm_us + compute_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transports() -> (MpiTransport, MpiTransport) {
+        (
+            MpiTransport::gs1280(&Gs1280::builder().cpus(16).build()),
+            MpiTransport::sc45(&Sc45::new(16)),
+        )
+    }
+
+    #[test]
+    fn gs1280_mpi_latency_is_far_lower() {
+        let (g, s) = transports();
+        assert!(g.latency_us < 1.5, "{}", g.latency_us);
+        assert!(s.latency_us > 3.0, "{}", s.latency_us);
+        assert!(s.p2p_us(0) > 2.0 * g.p2p_us(0));
+    }
+
+    #[test]
+    fn bandwidth_gap_appears_on_large_messages() {
+        let (g, s) = transports();
+        // 1 MB message: bandwidth dominated.
+        let big = 1 << 20;
+        let ratio = s.p2p_us(big) / g.p2p_us(big);
+        assert!(ratio > 5.0, "large-message ratio {ratio}");
+    }
+
+    #[test]
+    fn halo_exchange_is_cheap_on_the_torus() {
+        // A class-C SP face is ~100 KB; the compute per iteration is
+        // milliseconds — on the GS1280 communication is a rounding error,
+        // which is §5.2's "IP link utilization is low in many MPI
+        // applications".
+        let (g, s) = transports();
+        let halo = g.halo2d_us(100 * 1024);
+        let frac_g = communication_fraction(halo, 5_000.0);
+        let frac_s = communication_fraction(s.halo2d_us(100 * 1024), 5_000.0);
+        assert!(frac_g < 0.05, "GS1280 comm share {frac_g}");
+        assert!(frac_s > 2.0 * frac_g, "cluster pays more: {frac_s}");
+    }
+
+    #[test]
+    fn collectives_scale_logarithmically() {
+        let (g, _) = transports();
+        let r16 = g.allreduce_us(16, 4096);
+        let r64 = g.allreduce_us(64, 4096);
+        assert!((r64 / r16 - 6.0 / 4.0).abs() < 0.01, "{r16} {r64}");
+    }
+
+    #[test]
+    fn alltoall_grows_linearly_in_ranks() {
+        let (g, _) = transports();
+        let a8 = g.alltoall_us(8, 1 << 16);
+        let a16 = g.alltoall_us(16, 1 << 16);
+        assert!(a16 > 1.8 * a8, "{a8} {a16}");
+    }
+}

@@ -1,0 +1,170 @@
+//! The NAS Parallel kernel family (paper §5.2).
+//!
+//! "With the exception of EP (embarrassingly parallel), majority of these
+//! kernels (solvers, FFT, grid, integer sort) put significant stress on
+//! memory bandwidth (when size C is used)." Each kernel is modelled by the
+//! machine resource that bounds it: per-CPU compute for EP, aggregate
+//! sustainable memory bandwidth for the others, with kernel-specific
+//! traffic intensities. SP's model lives in [`crate::apps::NasSpModel`];
+//! this module generalises it to the family so the §5.2 claim — GS1280
+//! wins on everything except EP, where all machines tie per clock — is
+//! testable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::apps::AppMachine;
+
+/// A NAS Parallel kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NasKernel {
+    /// Embarrassingly parallel: random-number generation, no memory or
+    /// communication stress.
+    Ep,
+    /// Multigrid: memory-bandwidth-bound grid sweeps.
+    Mg,
+    /// 3-D FFT: bandwidth-bound with all-to-all transposes.
+    Ft,
+    /// Integer sort: bandwidth-bound random scatter.
+    Is,
+    /// Conjugate gradient: irregular sparse accesses, latency-sensitive.
+    Cg,
+    /// Scalar pentadiagonal solver (the paper's Fig. 21 example).
+    Sp,
+    /// Block tridiagonal solver.
+    Bt,
+    /// Lower-upper Gauss-Seidel solver.
+    Lu,
+}
+
+impl NasKernel {
+    /// The whole family.
+    pub const ALL: [NasKernel; 8] = [
+        NasKernel::Ep,
+        NasKernel::Mg,
+        NasKernel::Ft,
+        NasKernel::Is,
+        NasKernel::Cg,
+        NasKernel::Sp,
+        NasKernel::Bt,
+        NasKernel::Lu,
+    ];
+
+    /// Kernel name as NPB spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            NasKernel::Ep => "EP",
+            NasKernel::Mg => "MG",
+            NasKernel::Ft => "FT",
+            NasKernel::Is => "IS",
+            NasKernel::Cg => "CG",
+            NasKernel::Sp => "SP",
+            NasKernel::Bt => "BT",
+            NasKernel::Lu => "LU",
+        }
+    }
+
+    /// Memory traffic per operation in bytes at class C (0 = compute
+    /// bound).
+    pub fn bytes_per_op(self) -> f64 {
+        match self {
+            NasKernel::Ep => 0.0,
+            NasKernel::Mg => 3.2,
+            NasKernel::Ft => 2.8,
+            NasKernel::Is => 4.0,
+            NasKernel::Cg => 3.6,
+            NasKernel::Sp => 2.4,
+            NasKernel::Bt => 1.9,
+            NasKernel::Lu => 2.1,
+        }
+    }
+
+    /// Peak per-CPU operation rate when memory is free, MOPS.
+    pub fn peak_mops_per_cpu(self) -> f64 {
+        match self {
+            NasKernel::Ep => 320.0, // random-number heavy, low IPC
+            NasKernel::Is => 900.0, // integer ops are cheap
+            _ => 640.0,
+        }
+    }
+
+    /// Whether the kernel is memory-bandwidth bound at class C.
+    pub fn is_bandwidth_bound(self) -> bool {
+        self.bytes_per_op() > 0.0
+    }
+
+    /// Aggregate MOPS on `machine` with `cpus` CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero or exceeds the machine.
+    pub fn mops(self, machine: &AppMachine, cpus: usize) -> f64 {
+        assert!(cpus >= 1 && cpus <= machine.cpus(), "CPU count out of range");
+        let cpu_bound = self.peak_mops_per_cpu() * cpus as f64;
+        let eff = 0.97f64.powf((cpus as f64).log2().max(0.0));
+        if !self.is_bandwidth_bound() {
+            return cpu_bound * eff;
+        }
+        let bw_bound = machine.stream_gbps_public(cpus) * 1e9 / self.bytes_per_op() / 1e6;
+        bw_bound.min(cpu_bound) * eff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasim_system::{Gs1280, Gs320, Sc45};
+
+    fn machines() -> (AppMachine, AppMachine, AppMachine) {
+        (
+            AppMachine::Gs1280(Gs1280::builder().cpus(16).build()),
+            AppMachine::Gs320(Gs320::new(16)),
+            AppMachine::Sc45(Sc45::new(16)),
+        )
+    }
+
+    #[test]
+    fn ep_is_machine_agnostic() {
+        // §5.2's exception: EP ties across machines (same core family).
+        let (g, q, s) = machines();
+        let a = NasKernel::Ep.mops(&g, 16);
+        let b = NasKernel::Ep.mops(&q, 16);
+        let c = NasKernel::Ep.mops(&s, 16);
+        assert!((a - b).abs() / a < 0.02, "{a} {b}");
+        assert!((a - c).abs() / a < 0.02, "{a} {c}");
+    }
+
+    #[test]
+    fn bandwidth_kernels_favor_gs1280() {
+        let (g, q, s) = machines();
+        for k in NasKernel::ALL {
+            if !k.is_bandwidth_bound() {
+                continue;
+            }
+            let a = k.mops(&g, 16);
+            let b = k.mops(&q, 16);
+            let c = k.mops(&s, 16);
+            assert!(a > 2.0 * b, "{}: GS1280 {a} vs GS320 {b}", k.name());
+            assert!(a > 1.5 * c, "{}: GS1280 {a} vs SC45 {c}", k.name());
+        }
+    }
+
+    #[test]
+    fn names_and_family_size() {
+        assert_eq!(NasKernel::ALL.len(), 8);
+        let names: Vec<&str> = NasKernel::ALL.iter().map(|k| k.name()).collect();
+        assert!(names.contains(&"SP"));
+        assert!(names.contains(&"EP"));
+    }
+
+    #[test]
+    fn mops_scales_with_cpus() {
+        let g = AppMachine::Gs1280(Gs1280::builder().cpus(32).build());
+        for k in NasKernel::ALL {
+            assert!(
+                k.mops(&g, 32) > 1.6 * k.mops(&g, 8),
+                "{} fails to scale",
+                k.name()
+            );
+        }
+    }
+}

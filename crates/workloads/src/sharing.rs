@@ -1,0 +1,216 @@
+//! Data-sharing microbenchmarks over the trace-driven coherent machine.
+//!
+//! The paper attributes the GS1280's biggest parallel-workload wins to its
+//! "efficient Read-Dirty implementation" (§3.4): applications with heavy
+//! data sharing keep fetching lines out of other CPUs' caches. These
+//! kernels generate the canonical sharing patterns and report what the
+//! coherence protocol did with them.
+
+use alphasim_cache::Addr;
+use alphasim_kernel::SimDuration;
+use alphasim_system::{CoherentMachine, CoherentStats};
+use serde::{Deserialize, Serialize};
+
+/// Result of one sharing kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharingResult {
+    /// Mean access latency over the kernel.
+    pub mean_latency: SimDuration,
+    /// Fraction of accesses served by a remote cache (read-dirty).
+    pub dirty_fraction: f64,
+    /// Invalidations per access.
+    pub invalidations_per_access: f64,
+    /// Raw machine statistics.
+    pub stats: CoherentStats,
+}
+
+fn result_of(machine: &CoherentMachine, before: CoherentStats) -> SharingResult {
+    let after = machine.stats();
+    let accesses = after.total() - before.total();
+    let dirty = after.remote_dirty - before.remote_dirty;
+    let inv = after.invalidations - before.invalidations;
+    SharingResult {
+        mean_latency: machine.mean_latency(),
+        dirty_fraction: if accesses == 0 {
+            0.0
+        } else {
+            dirty as f64 / accesses as f64
+        },
+        invalidations_per_access: if accesses == 0 {
+            0.0
+        } else {
+            inv as f64 / accesses as f64
+        },
+        stats: after,
+    }
+}
+
+/// Ping-pong: two CPUs alternately store to and load from one line. Every
+/// transfer after warm-up is a dirty cache-to-cache forward — the purest
+/// measure of the 3-hop path.
+pub fn ping_pong(
+    machine: &mut CoherentMachine,
+    a: usize,
+    b: usize,
+    line_addr: Addr,
+    rounds: usize,
+) -> SharingResult {
+    assert!(a != b, "ping-pong needs two distinct CPUs");
+    let before = machine.stats();
+    for _ in 0..rounds {
+        machine.access(a, line_addr, true);
+        machine.access(b, line_addr, true);
+    }
+    result_of(machine, before)
+}
+
+/// Migratory sharing: a lock-protected datum visits every CPU in turn; each
+/// visitor loads then stores it.
+pub fn migratory(machine: &mut CoherentMachine, line_addr: Addr, rounds: usize) -> SharingResult {
+    let cpus = machine.cpus();
+    let before = machine.stats();
+    for r in 0..rounds {
+        let cpu = r % cpus;
+        machine.access(cpu, line_addr, false);
+        machine.access(cpu, line_addr, true);
+    }
+    result_of(machine, before)
+}
+
+/// Producer/consumers: one CPU updates a block of lines, every other CPU
+/// reads them, repeatedly — invalidation broadcast followed by a fan-out of
+/// dirty reads.
+pub fn producer_consumers(
+    machine: &mut CoherentMachine,
+    producer: usize,
+    base: Addr,
+    lines: u64,
+    rounds: usize,
+) -> SharingResult {
+    let cpus = machine.cpus();
+    let before = machine.stats();
+    for _ in 0..rounds {
+        for l in 0..lines {
+            machine.access(producer, base.offset(l * 64), true);
+        }
+        for cpu in (0..cpus).filter(|&c| c != producer) {
+            for l in 0..lines {
+                machine.access(cpu, base.offset(l * 64), false);
+            }
+        }
+    }
+    result_of(machine, before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasim_system::Gs1280;
+
+    fn machine() -> CoherentMachine {
+        CoherentMachine::new(Gs1280::builder().cpus(16).mem_per_cpu(1 << 22).build())
+    }
+
+    fn addr(cpu: usize, off: u64) -> Addr {
+        Addr::new(cpu as u64 * (1 << 22) + off)
+    }
+
+    #[test]
+    fn ping_pong_is_all_dirty_after_warmup() {
+        let mut m = machine();
+        let r = ping_pong(&mut m, 2, 9, addr(0, 0), 100);
+        assert!(r.dirty_fraction > 0.9, "dirty fraction {}", r.dirty_fraction);
+        // Every transfer is a 3-hop forward: mean latency in the dirty band.
+        let ns = r.mean_latency.as_ns();
+        assert!((100.0..350.0).contains(&ns), "latency {ns}");
+    }
+
+    #[test]
+    fn ping_pong_between_neighbors_beats_opposite_corners() {
+        let mut near = machine();
+        // CPUs 0 and 4 are module partners on the 4x4 layout.
+        let rn = ping_pong(&mut near, 0, 4, addr(0, 0), 100);
+        let mut far = machine();
+        // CPU 10 is the 4-hop corner from CPU 0.
+        let rf = ping_pong(&mut far, 0, 10, addr(0, 0), 100);
+        assert!(
+            rf.mean_latency > rn.mean_latency,
+            "far {} near {}",
+            rf.mean_latency,
+            rn.mean_latency
+        );
+    }
+
+    #[test]
+    fn migratory_visits_generate_dirty_chains() {
+        let mut m = machine();
+        let r = migratory(&mut m, addr(5, 64), 64);
+        // Each visit's load fetches from the previous owner.
+        assert!(r.dirty_fraction > 0.4, "{}", r.dirty_fraction);
+    }
+
+    #[test]
+    fn producer_consumers_invalidate_then_fan_out() {
+        let mut m = machine();
+        let r = producer_consumers(&mut m, 3, addr(3, 0), 4, 5);
+        assert!(r.invalidations_per_access > 0.05, "{}", r.invalidations_per_access);
+        assert!(r.stats.remote_dirty > 0);
+        // The first consumer takes the dirty copy; later consumers read the
+        // now-shared line from home memory.
+        assert!(r.stats.remote_clean > 0);
+    }
+
+    #[test]
+    fn private_working_sets_stay_local() {
+        // Control: no sharing means no dirty traffic at all.
+        let mut m = machine();
+        let before = m.stats();
+        for cpu in 0..16 {
+            for l in 0..32u64 {
+                m.access(cpu, addr(cpu, l * 64), true);
+                m.access(cpu, addr(cpu, l * 64), false);
+            }
+        }
+        let after = m.stats();
+        assert_eq!(after.remote_dirty - before.remote_dirty, 0);
+        assert_eq!(after.remote_clean - before.remote_clean, 0);
+        assert_eq!(m.stats().invalidations, 0);
+    }
+}
+
+#[cfg(test)]
+mod cross_machine_tests {
+    use super::*;
+    use alphasim_system::{Gs1280, Gs320};
+
+    /// The paper's §3.4 claim, as an end-to-end sharing workload: the same
+    /// ping-pong on the GS320's fabric runs several times slower than on
+    /// the GS1280.
+    #[test]
+    fn ping_pong_is_several_times_slower_on_gs320() {
+        let mut new_machine =
+            CoherentMachine::new(Gs1280::builder().cpus(16).mem_per_cpu(1 << 30).build());
+        let mut old_machine = CoherentMachine::new_gs320(Gs320::new(16));
+        let line = Addr::new(64);
+        let new = ping_pong(&mut new_machine, 2, 9, line, 100);
+        let old = ping_pong(&mut old_machine, 2, 9, line, 100);
+        assert!(old.dirty_fraction > 0.9 && new.dirty_fraction > 0.9);
+        let ratio = old.mean_latency.as_ns() / new.mean_latency.as_ns();
+        assert!(
+            (3.0..12.0).contains(&ratio),
+            "GS320/GS1280 sharing ratio {ratio}"
+        );
+    }
+
+    /// Migratory sharing shows the same ordering.
+    #[test]
+    fn migratory_ordering_across_machines() {
+        let mut new_machine =
+            CoherentMachine::new(Gs1280::builder().cpus(16).mem_per_cpu(1 << 30).build());
+        let mut old_machine = CoherentMachine::new_gs320(Gs320::new(16));
+        let line = Addr::new(4096);
+        let new = migratory(&mut new_machine, line, 64);
+        let old = migratory(&mut old_machine, line, 64);
+        assert!(old.mean_latency > new.mean_latency * 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! The McCalpin STREAM kernels (paper §3.2, Figs. 6–7).
+//!
+//! STREAM measures sustainable memory bandwidth over four vector kernels.
+//! The figure-level bandwidth *model* lives in the machine crates (it is a
+//! property of controllers and MSHRs); this module provides the kernels
+//! themselves — actual arithmetic over actual arrays, verified like the real
+//! benchmark — plus their address traces, which tests replay against the
+//! Zbox model to validate its open-page behaviour.
+
+use alphasim_cache::Addr;
+use serde::{Deserialize, Serialize};
+
+/// One of the four STREAM kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKernel {
+    /// `c[i] = a[i]`
+    Copy,
+    /// `b[i] = s * c[i]`
+    Scale,
+    /// `c[i] = a[i] + b[i]`
+    Add,
+    /// `a[i] = b[i] + s * c[i]` (the paper reports Triad)
+    Triad,
+}
+
+impl StreamKernel {
+    /// Bytes *counted* by STREAM per iteration (loads + stores of f64).
+    pub fn counted_bytes(self) -> u64 {
+        match self {
+            StreamKernel::Copy | StreamKernel::Scale => 16,
+            StreamKernel::Add | StreamKernel::Triad => 24,
+        }
+    }
+
+    /// Bytes actually *moved* per iteration on a write-allocate machine
+    /// (the stored line is first read): one extra 8-byte share per store.
+    pub fn moved_bytes(self) -> u64 {
+        self.counted_bytes() + 8
+    }
+}
+
+/// An executable STREAM instance over three `f64` arrays.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_workloads::{Stream, StreamKernel};
+/// let mut s = Stream::new(1024);
+/// s.run(StreamKernel::Triad);
+/// s.verify(&[StreamKernel::Triad]).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stream {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    scalar: f64,
+}
+
+impl Stream {
+    /// Arrays of `n` elements, initialised as the reference benchmark does
+    /// (a=1, b=2, c=0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one element");
+        Stream {
+            a: vec![1.0; n],
+            b: vec![2.0; n],
+            c: vec![0.0; n],
+            scalar: 3.0,
+        }
+    }
+
+    /// Number of elements per array.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Whether the arrays are empty (never true; see [`Stream::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Execute one kernel over the whole arrays.
+    pub fn run(&mut self, kernel: StreamKernel) {
+        let n = self.len();
+        match kernel {
+            StreamKernel::Copy => {
+                for i in 0..n {
+                    self.c[i] = self.a[i];
+                }
+            }
+            StreamKernel::Scale => {
+                for i in 0..n {
+                    self.b[i] = self.scalar * self.c[i];
+                }
+            }
+            StreamKernel::Add => {
+                for i in 0..n {
+                    self.c[i] = self.a[i] + self.b[i];
+                }
+            }
+            StreamKernel::Triad => {
+                for i in 0..n {
+                    self.a[i] = self.b[i] + self.scalar * self.c[i];
+                }
+            }
+        }
+    }
+
+    /// Check array contents against a replay of the executed kernel
+    /// sequence, as the reference benchmark's `checkSTREAMresults` does.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatching array and index.
+    pub fn verify(&self, executed: &[StreamKernel]) -> Result<(), String> {
+        let (mut ea, mut eb, mut ec) = (1.0f64, 2.0f64, 0.0f64);
+        for k in executed {
+            match k {
+                StreamKernel::Copy => ec = ea,
+                StreamKernel::Scale => eb = self.scalar * ec,
+                StreamKernel::Add => ec = ea + eb,
+                StreamKernel::Triad => ea = eb + self.scalar * ec,
+            }
+        }
+        for (name, arr, expect) in [("a", &self.a, ea), ("b", &self.b, eb), ("c", &self.c, ec)] {
+            if let Some(i) = arr.iter().position(|&x| (x - expect).abs() > 1e-9) {
+                return Err(format!("array {name}[{i}] = {} != {expect}", arr[i]));
+            }
+        }
+        Ok(())
+    }
+
+    /// The line-granularity address trace of one kernel execution: the
+    /// sequence of 64-byte lines touched, for replay against cache/Zbox
+    /// models. Arrays are laid out back to back from `base`.
+    pub fn trace(&self, kernel: StreamKernel, base: u64) -> Vec<Addr> {
+        let n = self.len() as u64;
+        let array_bytes = n * 8;
+        let a0 = base;
+        let b0 = base + array_bytes;
+        let c0 = base + 2 * array_bytes;
+        let mut out = Vec::new();
+        let mut push_stream = |start: u64| {
+            for line in 0..(array_bytes + 63) / 64 {
+                out.push(Addr::new(start + line * 64));
+            }
+        };
+        match kernel {
+            StreamKernel::Copy => {
+                push_stream(a0);
+                push_stream(c0);
+            }
+            StreamKernel::Scale => {
+                push_stream(c0);
+                push_stream(b0);
+            }
+            StreamKernel::Add | StreamKernel::Triad => {
+                push_stream(a0);
+                push_stream(b0);
+                push_stream(c0);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasim_kernel::SimTime;
+    use alphasim_mem::{Zbox, ZboxConfig};
+
+    #[test]
+    fn kernels_compute_correctly() {
+        let mut s = Stream::new(100);
+        let seq = [
+            StreamKernel::Copy,
+            StreamKernel::Scale,
+            StreamKernel::Add,
+            StreamKernel::Triad,
+        ];
+        for k in seq {
+            s.run(k);
+        }
+        s.verify(&seq).unwrap();
+    }
+
+    #[test]
+    fn verify_catches_corruption() {
+        let mut s = Stream::new(10);
+        s.run(StreamKernel::Copy);
+        s.c[3] = 99.0;
+        assert!(s.verify(&[StreamKernel::Copy]).is_err());
+    }
+
+    #[test]
+    fn counted_vs_moved_bytes() {
+        assert_eq!(StreamKernel::Triad.counted_bytes(), 24);
+        assert_eq!(StreamKernel::Triad.moved_bytes(), 32);
+        assert_eq!(StreamKernel::Copy.counted_bytes(), 16);
+    }
+
+    #[test]
+    fn trace_covers_all_arrays() {
+        let s = Stream::new(64); // 512 B per array = 8 lines
+        let t = s.trace(StreamKernel::Triad, 0);
+        assert_eq!(t.len(), 24);
+        assert!(t.contains(&Addr::new(0)));
+        assert!(t.contains(&Addr::new(512)));
+        assert!(t.contains(&Addr::new(1024)));
+    }
+
+    #[test]
+    fn stream_trace_is_open_page_friendly() {
+        // Sequential array sweeps hit open RDRAM pages almost always —
+        // this is why STREAM sees the 83 ns (not 130 ns) latency class.
+        let s = Stream::new(32 * 1024);
+        let mut z = Zbox::new(ZboxConfig::ev7());
+        let mut now = SimTime::ZERO;
+        for addr in s.trace(StreamKernel::Triad, 0) {
+            now = z.access(now, addr, 64).completed;
+        }
+        assert!(z.page_hit_ratio() > 0.9, "{}", z.page_hit_ratio());
+    }
+}

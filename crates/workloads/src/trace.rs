@@ -1,0 +1,300 @@
+//! Memory traces: recorded or generated per-CPU access streams that replay
+//! against the trace-driven coherent machine.
+//!
+//! This is the general-purpose front door for a downstream user: build a
+//! [`MemoryTrace`] (programmatically, or with the generators here), replay
+//! it with [`MemoryTrace::replay`], and read back latency and service-class
+//! breakdowns. The paper's own workloads are special cases — GUPS is a
+//! random-update trace, STREAM a sequential one.
+
+use alphasim_cache::Addr;
+use alphasim_kernel::DetRng;
+use alphasim_system::{CoherentMachine, CoherentStats, ServiceClass};
+use serde::{Deserialize, Serialize};
+
+/// One access of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceAccess {
+    /// Issuing CPU.
+    pub cpu: usize,
+    /// Byte address.
+    pub addr: Addr,
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+}
+
+/// Summary of one trace replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplaySummary {
+    /// Accesses replayed.
+    pub accesses: u64,
+    /// Mean latency in ns.
+    pub mean_latency_ns: f64,
+    /// Machine statistics after the replay.
+    pub stats: CoherentStats,
+}
+
+/// An ordered, machine-independent memory trace.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_workloads::trace::MemoryTrace;
+/// use alphasim_system::{CoherentMachine, Gs1280};
+///
+/// let trace = MemoryTrace::sequential(0, 0, 64 * 128, 64, false);
+/// let mut machine = CoherentMachine::new(Gs1280::builder().cpus(4).build());
+/// let summary = trace.replay(&mut machine);
+/// assert_eq!(summary.accesses, 128);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTrace {
+    accesses: Vec<TraceAccess>,
+}
+
+impl MemoryTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        MemoryTrace::default()
+    }
+
+    /// Append one access.
+    pub fn push(&mut self, cpu: usize, addr: Addr, write: bool) {
+        self.accesses.push(TraceAccess { cpu, addr, write });
+    }
+
+    /// The recorded accesses.
+    pub fn accesses(&self) -> &[TraceAccess] {
+        &self.accesses
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// A sequential sweep by one CPU: `bytes / stride` accesses from `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn sequential(cpu: usize, base: u64, bytes: u64, stride: u64, write: bool) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let mut t = MemoryTrace::new();
+        let mut a = base;
+        while a < base + bytes {
+            t.push(cpu, Addr::new(a), write);
+            a += stride;
+        }
+        t
+    }
+
+    /// A uniform-random trace over `[base, base+span)` lines, round-robin
+    /// across `cpus`, with the given store fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus == 0`, `span < 64`, or `store_fraction` is outside
+    /// `[0, 1]`.
+    pub fn random(
+        cpus: usize,
+        base: u64,
+        span: u64,
+        accesses: usize,
+        store_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(cpus > 0, "need at least one CPU");
+        assert!(span >= 64, "span must hold at least one line");
+        assert!(
+            (0.0..=1.0).contains(&store_fraction),
+            "store fraction out of range"
+        );
+        let mut rng = DetRng::seeded(seed);
+        let lines = span / 64;
+        let mut t = MemoryTrace::new();
+        for i in 0..accesses {
+            let line = rng.bits() % lines;
+            let write = rng.chance(store_fraction);
+            t.push(i % cpus, Addr::new(base + line * 64), write);
+        }
+        t
+    }
+
+    /// Interleave several traces round-robin (models concurrent CPUs whose
+    /// accesses arrive interleaved at the coherence layer).
+    pub fn interleave(traces: &[MemoryTrace]) -> Self {
+        let mut t = MemoryTrace::new();
+        let longest = traces.iter().map(MemoryTrace::len).max().unwrap_or(0);
+        for i in 0..longest {
+            for tr in traces {
+                if let Some(&a) = tr.accesses.get(i) {
+                    t.accesses.push(a);
+                }
+            }
+        }
+        t
+    }
+
+    /// Replay against a coherent machine, returning the summary.
+    pub fn replay(&self, machine: &mut CoherentMachine) -> ReplaySummary {
+        let before = machine.stats();
+        let mut total_ns = 0.0;
+        for a in &self.accesses {
+            total_ns += machine.access(a.cpu, a.addr, a.write).latency.as_ns();
+        }
+        let after = machine.stats();
+        ReplaySummary {
+            accesses: self.len() as u64,
+            mean_latency_ns: if self.is_empty() {
+                0.0
+            } else {
+                total_ns / self.len() as f64
+            },
+            stats: CoherentStats {
+                l1: after.l1 - before.l1,
+                l2: after.l2 - before.l2,
+                local: after.local - before.local,
+                remote_clean: after.remote_clean - before.remote_clean,
+                remote_dirty: after.remote_dirty - before.remote_dirty,
+                invalidations: after.invalidations - before.invalidations,
+                fabric_bytes: after.fabric_bytes - before.fabric_bytes,
+                writebacks: after.writebacks - before.writebacks,
+            },
+        }
+    }
+
+    /// Replay and return per-service-class counts as fractions.
+    pub fn replay_breakdown(&self, machine: &mut CoherentMachine) -> Vec<(ServiceClass, f64)> {
+        let s = self.replay(machine).stats;
+        let total = s.total().max(1) as f64;
+        vec![
+            (ServiceClass::L1, s.l1 as f64 / total),
+            (ServiceClass::L2, s.l2 as f64 / total),
+            (ServiceClass::LocalMemory, s.local as f64 / total),
+            (ServiceClass::RemoteClean, s.remote_clean as f64 / total),
+            (ServiceClass::RemoteDirty, s.remote_dirty as f64 / total),
+        ]
+    }
+}
+
+impl FromIterator<TraceAccess> for MemoryTrace {
+    fn from_iter<I: IntoIterator<Item = TraceAccess>>(iter: I) -> Self {
+        MemoryTrace {
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceAccess> for MemoryTrace {
+    fn extend<I: IntoIterator<Item = TraceAccess>>(&mut self, iter: I) {
+        self.accesses.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphasim_system::Gs1280;
+
+    fn machine(cpus: usize) -> CoherentMachine {
+        CoherentMachine::new(Gs1280::builder().cpus(cpus).mem_per_cpu(1 << 22).build())
+    }
+
+    #[test]
+    fn sequential_generator_shape() {
+        let t = MemoryTrace::sequential(2, 4096, 64 * 10, 64, true);
+        assert_eq!(t.len(), 10);
+        assert!(t.accesses().iter().all(|a| a.cpu == 2 && a.write));
+        assert_eq!(t.accesses()[0].addr, Addr::new(4096));
+        assert_eq!(t.accesses()[9].addr, Addr::new(4096 + 9 * 64));
+    }
+
+    #[test]
+    fn local_sequential_replay_is_local() {
+        let t = MemoryTrace::sequential(0, 0, 64 * 256, 64, false);
+        let mut m = machine(4);
+        let s = t.replay(&mut m);
+        assert_eq!(s.accesses, 256);
+        assert_eq!(s.stats.remote_clean + s.stats.remote_dirty, 0);
+        assert_eq!(s.stats.local, 256, "cold local misses");
+    }
+
+    #[test]
+    fn second_replay_hits_cache() {
+        let t = MemoryTrace::sequential(0, 0, 64 * 256, 64, false);
+        let mut m = machine(4);
+        t.replay(&mut m);
+        let again = t.replay(&mut m);
+        assert_eq!(again.stats.l1 + again.stats.l2, 256);
+        assert!(again.mean_latency_ns < 5.0);
+    }
+
+    #[test]
+    fn random_trace_spans_machine_memory() {
+        // Random over all 4 CPUs' memory: ~3/4 of cold misses are remote.
+        let t = MemoryTrace::random(4, 0, 4 << 22, 2000, 0.0, 9);
+        let mut m = machine(4);
+        let s = t.replay(&mut m);
+        let remote = s.stats.remote_clean + s.stats.remote_dirty;
+        let miss = remote + s.stats.local;
+        assert!(miss > 0);
+        let frac = remote as f64 / miss as f64;
+        assert!((0.6..0.9).contains(&frac), "remote fraction {frac}");
+    }
+
+    #[test]
+    fn store_fraction_drives_invalidations() {
+        let reads = MemoryTrace::random(4, 0, 1 << 20, 3000, 0.0, 1);
+        let mixed = MemoryTrace::random(4, 0, 1 << 20, 3000, 0.5, 1);
+        let mut m1 = machine(4);
+        let mut m2 = machine(4);
+        let r = reads.replay(&mut m1);
+        let w = mixed.replay(&mut m2);
+        assert_eq!(r.stats.invalidations, 0, "pure loads never invalidate");
+        assert!(w.stats.invalidations > 0);
+        assert!(w.stats.remote_dirty > r.stats.remote_dirty);
+    }
+
+    #[test]
+    fn interleave_preserves_all_accesses() {
+        let a = MemoryTrace::sequential(0, 0, 64 * 5, 64, false);
+        let b = MemoryTrace::sequential(1, 1 << 22, 64 * 3, 64, true);
+        let t = MemoryTrace::interleave(&[a.clone(), b.clone()]);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.accesses()[0].cpu, 0);
+        assert_eq!(t.accesses()[1].cpu, 1);
+        assert_eq!(t.accesses()[7].cpu, 0); // b exhausted after 3 rounds
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let t = MemoryTrace::random(4, 0, 1 << 20, 1000, 0.3, 5);
+        let mut m = machine(4);
+        let b = t.replay_breakdown(&mut m);
+        let sum: f64 = b.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: MemoryTrace = (0..4)
+            .map(|i| TraceAccess {
+                cpu: i,
+                addr: Addr::new(i as u64 * 64),
+                write: false,
+            })
+            .collect();
+        t.extend([TraceAccess {
+            cpu: 0,
+            addr: Addr::new(0),
+            write: true,
+        }]);
+        assert_eq!(t.len(), 5);
+    }
+}

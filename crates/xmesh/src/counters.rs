@@ -1,0 +1,205 @@
+//! The EV7's built-in, non-intrusive performance counters (paper §1,
+//! reference \[3\]): named free-running counters per node, read by Xmesh
+//! without perturbing the workload.
+//!
+//! A [`CounterBlock`] is one node's counter file; [`CounterDelta`] is the
+//! difference between two reads, which is what every utilization
+//! percentage in the paper's figures actually is: busy-events over an
+//! interval divided by the interval's capacity.
+
+use serde::{Deserialize, Serialize};
+
+/// The counter file of one EV7 node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterBlock {
+    /// Core cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Zbox busy cycles (both controllers).
+    pub zbox_busy: u64,
+    /// Bytes moved by the Zboxes.
+    pub zbox_bytes: u64,
+    /// Per-direction IP-link busy cycles: N, S, E, W.
+    pub link_busy: [u64; 4],
+    /// I/O port busy cycles.
+    pub io_busy: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+}
+
+/// The difference between two counter reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterDelta(pub CounterBlock);
+
+impl CounterBlock {
+    /// A zeroed counter file.
+    pub fn new() -> Self {
+        CounterBlock::default()
+    }
+
+    /// Non-intrusive read: counters keep running, the caller gets a copy.
+    pub fn read(&self) -> CounterBlock {
+        *self
+    }
+
+    /// The delta since an earlier read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not actually earlier (counters are
+    /// free-running and never decrease).
+    pub fn since(&self, earlier: &CounterBlock) -> CounterDelta {
+        let sub = |a: u64, b: u64| {
+            a.checked_sub(b)
+                .expect("counters are monotone; 'earlier' read is newer")
+        };
+        CounterDelta(CounterBlock {
+            cycles: sub(self.cycles, earlier.cycles),
+            instructions: sub(self.instructions, earlier.instructions),
+            zbox_busy: sub(self.zbox_busy, earlier.zbox_busy),
+            zbox_bytes: sub(self.zbox_bytes, earlier.zbox_bytes),
+            link_busy: [
+                sub(self.link_busy[0], earlier.link_busy[0]),
+                sub(self.link_busy[1], earlier.link_busy[1]),
+                sub(self.link_busy[2], earlier.link_busy[2]),
+                sub(self.link_busy[3], earlier.link_busy[3]),
+            ],
+            io_busy: sub(self.io_busy, earlier.io_busy),
+            l2_misses: sub(self.l2_misses, earlier.l2_misses),
+        })
+    }
+}
+
+impl CounterDelta {
+    /// IPC over the interval (0 when no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.0.cycles == 0 {
+            0.0
+        } else {
+            self.0.instructions as f64 / self.0.cycles as f64
+        }
+    }
+
+    /// Zbox utilization over the interval.
+    pub fn zbox_utilization(&self) -> f64 {
+        if self.0.cycles == 0 {
+            0.0
+        } else {
+            (self.0.zbox_busy as f64 / self.0.cycles as f64).min(1.0)
+        }
+    }
+
+    /// Mean IP-link utilization over the interval.
+    pub fn ip_utilization(&self) -> f64 {
+        if self.0.cycles == 0 {
+            return 0.0;
+        }
+        let mean = self.0.link_busy.iter().sum::<u64>() as f64 / 4.0;
+        (mean / self.0.cycles as f64).min(1.0)
+    }
+
+    /// East/West vs North/South utilization split (Fig. 24's gauges):
+    /// `(east_west, north_south)`. Link order is N, S, E, W.
+    pub fn directional_utilization(&self) -> (f64, f64) {
+        if self.0.cycles == 0 {
+            return (0.0, 0.0);
+        }
+        let c = self.0.cycles as f64;
+        let ns = (self.0.link_busy[0] + self.0.link_busy[1]) as f64 / 2.0 / c;
+        let ew = (self.0.link_busy[2] + self.0.link_busy[3]) as f64 / 2.0 / c;
+        (ew.min(1.0), ns.min(1.0))
+    }
+
+    /// L2 misses per thousand instructions.
+    pub fn mpki(&self) -> f64 {
+        if self.0.instructions == 0 {
+            0.0
+        } else {
+            self.0.l2_misses as f64 * 1000.0 / self.0.instructions as f64
+        }
+    }
+
+    /// The sampled [`crate::NodeCounters`] gauge values for this node.
+    pub fn gauges(&self) -> crate::NodeCounters {
+        crate::NodeCounters {
+            zbox_util: self.zbox_utilization(),
+            ip_util: self.ip_utilization(),
+            io_util: if self.0.cycles == 0 {
+                0.0
+            } else {
+                (self.0.io_busy as f64 / self.0.cycles as f64).min(1.0)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn advanced() -> CounterBlock {
+        CounterBlock {
+            cycles: 1_000,
+            instructions: 750,
+            zbox_busy: 530,
+            zbox_bytes: 64_000,
+            link_busy: [100, 120, 600, 640],
+            io_busy: 10,
+            l2_misses: 30,
+        }
+    }
+
+    #[test]
+    fn deltas_subtract_fieldwise() {
+        let start = CounterBlock::new();
+        let end = advanced();
+        let d = end.since(&start);
+        assert_eq!(d.0, end);
+        let half = CounterBlock {
+            cycles: 500,
+            ..CounterBlock::new()
+        };
+        let d2 = end.since(&half);
+        assert_eq!(d2.0.cycles, 500);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let d = advanced().since(&CounterBlock::new());
+        assert!((d.ipc() - 0.75).abs() < 1e-12);
+        assert!((d.zbox_utilization() - 0.53).abs() < 1e-12);
+        assert!((d.mpki() - 40.0).abs() < 1e-12);
+        let (ew, ns) = d.directional_utilization();
+        assert!(ew > ns, "E/W {ew} vs N/S {ns}");
+        assert!((ew - 0.62).abs() < 1e-12);
+        assert!((ns - 0.11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauges_feed_the_mesh_snapshot() {
+        let d = advanced().since(&CounterBlock::new());
+        let g = d.gauges();
+        assert!((g.zbox_util - 0.53).abs() < 1e-12);
+        assert!(g.ip_util > 0.3);
+        assert!((g.io_util - 0.01).abs() < 1e-12);
+        let mut snap = crate::MeshSnapshot::new(4, 4);
+        snap.set(0, g);
+        let report = crate::detect_hot_spots(&snap);
+        assert_eq!(report.hot_nodes, vec![0]);
+    }
+
+    #[test]
+    fn zero_interval_is_safe() {
+        let d = CounterBlock::new().since(&CounterBlock::new());
+        assert_eq!(d.ipc(), 0.0);
+        assert_eq!(d.zbox_utilization(), 0.0);
+        assert_eq!(d.directional_utilization(), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn reversed_reads_panic() {
+        let _ = CounterBlock::new().since(&advanced());
+    }
+}

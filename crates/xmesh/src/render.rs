@@ -1,0 +1,147 @@
+//! ASCII rendering of a mesh snapshot — our stand-in for Xmesh's display
+//! (Fig. 27).
+
+use crate::snapshot::MeshSnapshot;
+
+/// Which gauge to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Memory-controller utilization.
+    Zbox,
+    /// IP-link utilization.
+    IpLinks,
+    /// I/O port utilization.
+    Io,
+}
+
+impl Metric {
+    fn label(self) -> &'static str {
+        match self {
+            Metric::Zbox => "Zbox utilization (%)",
+            Metric::IpLinks => "IP-link utilization (%)",
+            Metric::Io => "I/O utilization (%)",
+        }
+    }
+
+    fn value(self, snap: &MeshSnapshot, i: usize) -> f64 {
+        let c = snap.get(i);
+        match self {
+            Metric::Zbox => c.zbox_util,
+            Metric::IpLinks => c.ip_util,
+            Metric::Io => c.io_util,
+        }
+    }
+}
+
+/// Shade character for a utilization fraction.
+fn shade(u: f64) -> char {
+    match () {
+        _ if u >= 0.75 => '#',
+        _ if u >= 0.50 => '@',
+        _ if u >= 0.25 => '+',
+        _ if u >= 0.10 => '.',
+        _ => ' ',
+    }
+}
+
+/// Render one metric of a snapshot as an ASCII grid: each cell shows the
+/// node's percentage and a shade character.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_xmesh::{MeshSnapshot, NodeCounters, render_metric, Metric};
+/// let mut s = MeshSnapshot::new(2, 2);
+/// s.set(0, NodeCounters { zbox_util: 0.53, ..Default::default() });
+/// let art = render_metric(&s, Metric::Zbox);
+/// assert!(art.contains("53"));
+/// ```
+pub fn render_metric(snap: &MeshSnapshot, metric: Metric) -> String {
+    let mut out = String::new();
+    out.push_str(metric.label());
+    out.push('\n');
+    let border = format!("+{}\n", "------+".repeat(snap.cols()));
+    out.push_str(&border);
+    for y in 0..snap.rows() {
+        out.push('|');
+        for x in 0..snap.cols() {
+            let i = y * snap.cols() + x;
+            let u = metric.value(snap, i);
+            out.push_str(&format!("{:>3.0}% {}|", (u * 100.0).min(100.0), shade(u)));
+        }
+        out.push('\n');
+        out.push_str(&border);
+    }
+    out
+}
+
+/// Render all three gauges, stacked — the full Xmesh panel.
+pub fn render(snap: &MeshSnapshot) -> String {
+    let mut out = String::new();
+    for m in [Metric::Zbox, Metric::IpLinks, Metric::Io] {
+        out.push_str(&render_metric(snap, m));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeCounters;
+
+    fn hot_snapshot() -> MeshSnapshot {
+        let mut s = MeshSnapshot::new(4, 4);
+        for i in 0..16 {
+            s.set(
+                i,
+                NodeCounters {
+                    zbox_util: 0.04,
+                    ip_util: 0.08,
+                    io_util: 0.0,
+                },
+            );
+        }
+        s.set(
+            0,
+            NodeCounters {
+                zbox_util: 0.53,
+                ip_util: 0.4,
+                io_util: 0.0,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn renders_grid_of_right_shape() {
+        let art = render_metric(&hot_snapshot(), Metric::Zbox);
+        // 4 rows of cells + 5 borders + title.
+        assert_eq!(art.lines().count(), 1 + 5 + 4);
+        assert!(art.contains("Zbox"));
+    }
+
+    #[test]
+    fn hot_cell_stands_out() {
+        let art = render_metric(&hot_snapshot(), Metric::Zbox);
+        assert!(art.contains("53% @"), "{art}");
+        assert!(art.matches("  4% ").count() == 15, "{art}");
+    }
+
+    #[test]
+    fn shade_buckets() {
+        assert_eq!(shade(0.9), '#');
+        assert_eq!(shade(0.6), '@');
+        assert_eq!(shade(0.3), '+');
+        assert_eq!(shade(0.15), '.');
+        assert_eq!(shade(0.01), ' ');
+    }
+
+    #[test]
+    fn full_panel_has_all_metrics() {
+        let art = render(&hot_snapshot());
+        assert!(art.contains("Zbox"));
+        assert!(art.contains("IP-link"));
+        assert!(art.contains("I/O"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Quick start: build the paper's machines and ask them the paper's
+//! headline questions.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use alphasim::experiments::latency;
+use alphasim::system::{Gs1280, Gs320};
+use alphasim::topology::NodeId;
+
+fn main() {
+    // The paper's 16-CPU GS1280: a 4x4 torus of Alpha 21364s.
+    let gs1280 = Gs1280::builder().cpus(16).build();
+    let gs320 = Gs320::new(16);
+
+    println!("== local memory ==");
+    println!(
+        "GS1280 local open-page load-to-use: {:.0} ns (paper: 83)",
+        gs1280.local_latency(true).as_ns()
+    );
+    println!(
+        "GS320  local load-to-use:           {:.0} ns (paper: ~330)",
+        gs320.local_latency(true).as_ns()
+    );
+
+    println!("\n== the Fig. 13 latency map (read-clean from CPU 0, ns) ==");
+    for row in gs1280.latency_grid(NodeId::new(0)) {
+        for v in row {
+            print!("{v:>6.0}");
+        }
+        println!();
+    }
+
+    let (clean, dirty) = latency::fig12_ratios();
+    println!("\n== 16-CPU remote latency advantage over the GS320 ==");
+    println!("read-clean average: {clean:.1}x (paper: ~4x)");
+    println!("read-dirty average: {dirty:.1}x (paper: ~6.6x)");
+
+    println!("\n== STREAM Triad (counted GB/s) ==");
+    for n in [1usize, 4, 16] {
+        println!(
+            "{n:>3} CPUs: GS1280 {:>6.1}   GS320 {:>5.2}",
+            gs1280.stream_triad_gbps(n),
+            gs320.stream_triad_gbps(n.min(16))
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Root package of the GS1280 reproduction workspace.
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`; the library surface is re-exported from
+//! [`alphasim`], the facade crate. Depend on `alphasim` directly in real use.
+
+#![forbid(unsafe_code)]
+
+pub use alphasim::*;

@@ -1,0 +1,42 @@
+//! Whole-experiment determinism: every figure driver produces bit-identical
+//! output across runs (the property that makes EXPERIMENTS.md's numbers
+//! reproducible on any machine).
+
+use alphasim::experiments::{apps, latency, memory, network, spec, stream, summary};
+use alphasim::workloads::spec::Suite;
+
+#[test]
+fn analytic_figures_are_deterministic() {
+    assert_eq!(spec::fig01(), spec::fig01());
+    assert_eq!(stream::fig06(), stream::fig06());
+    assert_eq!(stream::fig07(), stream::fig07());
+    assert_eq!(spec::ipc_figure(Suite::Fp), spec::ipc_figure(Suite::Fp));
+    assert_eq!(latency::fig12(), latency::fig12());
+    assert_eq!(latency::fig13(), latency::fig13());
+    assert_eq!(latency::fig14(), latency::fig14());
+    assert_eq!(spec::fig25(), spec::fig25());
+    assert_eq!(summary::table1(), summary::table1());
+}
+
+#[test]
+fn cache_walk_figures_are_deterministic() {
+    let sizes: Vec<u64> = (12..=22).map(|p| 1u64 << p).collect();
+    assert_eq!(memory::fig04(&sizes, 2_000), memory::fig04(&sizes, 2_000));
+}
+
+#[test]
+fn event_driven_figures_are_deterministic() {
+    let windows = [1usize, 8];
+    assert_eq!(network::fig15(&windows, 30), network::fig15(&windows, 30));
+    assert_eq!(network::fig18(&windows, 30), network::fig18(&windows, 30));
+    assert_eq!(network::fig26(&windows, 30), network::fig26(&windows, 30));
+    assert_eq!(apps::fig23(30), apps::fig23(30));
+}
+
+#[test]
+fn gups_and_summary_are_deterministic() {
+    let a = apps::gups_mups_gs1280(16, 30);
+    let b = apps::gups_mups_gs1280(16, 30);
+    assert_eq!(a, b);
+    assert_eq!(summary::fig28(20), summary::fig28(20));
+}

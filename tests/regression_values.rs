@@ -1,0 +1,84 @@
+//! Golden-value regression tests: the headline numbers EXPERIMENTS.md
+//! quotes, pinned exactly. Every value here is deterministic; if a
+//! calibration or model change moves one, this suite names it so
+//! EXPERIMENTS.md can be regenerated consciously rather than drifting.
+
+use alphasim::experiments::{latency, stream, summary};
+use alphasim::system::{Es45, Gs1280, Gs320};
+use alphasim::topology::table1::shuffle_gains;
+use alphasim::topology::NodeId;
+
+#[test]
+fn pinned_local_latencies() {
+    let g = Gs1280::builder().cpus(16).build();
+    assert_eq!(g.local_latency(true).as_ns(), 83.0);
+    assert_eq!(g.local_latency(false).as_ns(), 130.0);
+    assert_eq!(Gs320::new(16).local_latency(true).as_ns(), 330.0);
+    assert_eq!(Es45::new(4).local_latency(true).as_ns(), 185.0);
+}
+
+#[test]
+fn pinned_fig13_exact_cells() {
+    let grid = latency::fig13();
+    // The cells our calibration reproduces exactly (12 of 16).
+    let exact = [
+        (0, 0, 83.0),
+        (1, 0, 145.0),
+        (2, 0, 186.0),
+        (3, 0, 154.0),
+        (0, 1, 139.0),
+        (2, 1, 221.0),
+        (0, 3, 154.0),
+        (1, 2, 221.0),
+    ];
+    for (x, y, want) in exact {
+        assert_eq!(grid[y][x], want, "cell ({x},{y})");
+    }
+}
+
+#[test]
+fn pinned_table1_exact_rows() {
+    let g42 = shuffle_gains(4, 2);
+    assert_eq!(g42.torus, (12.0 / 7.0, 3, 4));
+    assert_eq!(g42.shuffle, (10.0 / 7.0, 2, 8));
+    let g44 = shuffle_gains(4, 4);
+    assert_eq!(g44.torus.1, 4);
+    assert_eq!(g44.shuffle.1, 3);
+    assert_eq!(g44.torus.2, 8);
+    assert_eq!(g44.shuffle.2, 8);
+}
+
+#[test]
+fn pinned_stream_values() {
+    let fig = stream::fig07();
+    let y = |label: &str, x: f64| fig.series_like(label).unwrap().y_at(x).unwrap();
+    assert!((y("GS1280", 1.0) - 4.43).abs() < 0.05);
+    assert!((y("GS1280", 4.0) - 17.72).abs() < 0.2);
+    assert!((y("ES45", 1.0) - 2.08).abs() < 0.05);
+    assert!((y("GS320", 1.0) - 0.58).abs() < 0.05);
+}
+
+#[test]
+fn pinned_remote_latency_structure() {
+    let g = Gs1280::builder().cpus(64).build();
+    // 8x8 torus: the diameter pair is 4+4 hops away.
+    let far = g.read_clean(NodeId::new(0), NodeId::new(36));
+    assert!((far.as_ns() - (83.0 + 21.0 + 2.0 * 8.0 * 21.0)).abs() < 35.0);
+    let q = Gs320::new(32);
+    assert!((q.read_clean(NodeId::new(0), NodeId::new(31)).as_ns() - 760.0).abs() < 5.0);
+}
+
+#[test]
+fn pinned_fig28_component_rows() {
+    let t = summary::fig28(30);
+    let row = |label: &str| {
+        t.rows
+            .iter()
+            .find(|r| r.label.starts_with(label))
+            .unwrap()
+            .computed
+    };
+    assert!((row("CPU speed") - 1.15 / 1.22).abs() < 1e-9);
+    assert!((row("memory latency (local)") - 330.0 / 83.0).abs() < 0.02);
+    assert!((row("I/O bandwidth (32P)") - 8.27).abs() < 0.05);
+}
