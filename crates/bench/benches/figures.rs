@@ -40,8 +40,12 @@ fn bench_figures(c: &mut Criterion) {
             ))
         })
     });
-    g.bench_function("fig06_stream_scaling", |b| b.iter(|| black_box(stream::fig06())));
-    g.bench_function("fig07_stream_1v4", |b| b.iter(|| black_box(stream::fig07())));
+    g.bench_function("fig06_stream_scaling", |b| {
+        b.iter(|| black_box(stream::fig06()))
+    });
+    g.bench_function("fig07_stream_1v4", |b| {
+        b.iter(|| black_box(stream::fig07()))
+    });
     g.bench_function("fig08_ipc_fp", |b| {
         b.iter(|| black_box(spec::ipc_figure(Suite::Fp)))
     });
@@ -54,18 +58,28 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig11_util_int", |b| {
         b.iter(|| black_box(spec::utilization_figure(Suite::Int, 60)))
     });
-    g.bench_function("fig12_remote_16p", |b| b.iter(|| black_box(latency::fig12())));
-    g.bench_function("fig13_latency_map", |b| b.iter(|| black_box(latency::fig13())));
-    g.bench_function("fig14_latency_scaling", |b| b.iter(|| black_box(latency::fig14())));
+    g.bench_function("fig12_remote_16p", |b| {
+        b.iter(|| black_box(latency::fig12()))
+    });
+    g.bench_function("fig13_latency_map", |b| {
+        b.iter(|| black_box(latency::fig13()))
+    });
+    g.bench_function("fig14_latency_scaling", |b| {
+        b.iter(|| black_box(latency::fig14()))
+    });
     g.bench_function("fig15_load_test", |b| {
         b.iter(|| black_box(network::fig15(&quick_windows(), 40)))
     });
-    g.bench_function("table1_shuffle_gains", |b| b.iter(|| black_box(summary::table1())));
+    g.bench_function("table1_shuffle_gains", |b| {
+        b.iter(|| black_box(summary::table1()))
+    });
     g.bench_function("fig18_shuffle_load", |b| {
         b.iter(|| black_box(network::fig18(&quick_windows(), 40)))
     });
     g.bench_function("fig19_fluent", |b| b.iter(|| black_box(apps::fig19())));
-    g.bench_function("fig20_fluent_util", |b| b.iter(|| black_box(apps::fig20(60))));
+    g.bench_function("fig20_fluent_util", |b| {
+        b.iter(|| black_box(apps::fig20(60)))
+    });
     g.bench_function("fig21_sp", |b| b.iter(|| black_box(apps::fig21())));
     g.bench_function("fig22_sp_util", |b| b.iter(|| black_box(apps::fig22(60))));
     g.bench_function("fig23_gups", |b| b.iter(|| black_box(apps::fig23(40))));
@@ -77,7 +91,9 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| black_box(network::fig26(&quick_windows(), 40)))
     });
     g.bench_function("fig27_xmesh", |b| b.iter(|| black_box(network::fig27(40))));
-    g.bench_function("fig28_summary", |b| b.iter(|| black_box(summary::fig28(40))));
+    g.bench_function("fig28_summary", |b| {
+        b.iter(|| black_box(summary::fig28(40)))
+    });
     g.finish();
 }
 

@@ -4,6 +4,8 @@
 //! adopter sizing a bigger study cares about.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 
 use alphasim::cache::{Addr, CacheGeometry, SetAssocCache};
@@ -32,6 +34,74 @@ fn bench_kernel(c: &mut Criterion) {
         })
     });
 
+    // Reference point for the 4-ary EventQueue: the same workload through
+    // std's binary heap, which the queue used before. Lets a single-core run
+    // quantify the kernel-level speedup directly.
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_queue_10k_binary_heap_reference", |b| {
+        b.iter(|| {
+            let mut q: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+            let mut rng = DetRng::seeded(1);
+            for i in 0..10_000u64 {
+                q.push(Reverse((
+                    SimTime::from_ps(rng.bits() % 1_000_000_000),
+                    i,
+                    i,
+                )));
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+
+    // Steady-state churn: a ~1k-deep queue with one schedule per pop, the
+    // shape the network simulator actually produces.
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("event_queue_100k_sliding_window", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1_024);
+            let mut rng = DetRng::seeded(6);
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_ps(rng.bits() % 1_000), i);
+            }
+            let mut count = 0u64;
+            for i in 0..100_000u64 {
+                let (t, _) = q.pop().expect("window stays populated");
+                q.schedule(SimTime::from_ps(t.as_ps() + 1 + rng.bits() % 1_000), i);
+                count += 1;
+            }
+            black_box((count, q.len()))
+        })
+    });
+
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function(
+        "event_queue_100k_sliding_window_binary_heap_reference",
+        |b| {
+            b.iter(|| {
+                let mut q: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+                let mut rng = DetRng::seeded(6);
+                for i in 0..1_000u64 {
+                    q.push(Reverse((SimTime::from_ps(rng.bits() % 1_000), i, i)));
+                }
+                let mut count = 0u64;
+                for i in 0..100_000u64 {
+                    let Reverse((t, _, _)) = q.pop().expect("window stays populated");
+                    q.push(Reverse((
+                        SimTime::from_ps(t.as_ps() + 1 + rng.bits() % 1_000),
+                        i,
+                        i,
+                    )));
+                    count += 1;
+                }
+                black_box((count, q.len()))
+            })
+        },
+    );
+
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("l2_cache_10k_accesses", |b| {
         b.iter(|| {
@@ -51,7 +121,9 @@ fn bench_kernel(c: &mut Criterion) {
             let mut now = SimTime::ZERO;
             let mut rng = DetRng::seeded(3);
             for _ in 0..10_000 {
-                now = z.access(now, Addr::new(rng.bits() % (1 << 30)), 64).completed;
+                now = z
+                    .access(now, Addr::new(rng.bits() % (1 << 30)), 64)
+                    .completed;
             }
             black_box(z.accesses())
         })
@@ -99,6 +171,32 @@ fn bench_kernel(c: &mut Criterion) {
             }
             net.drain();
             black_box(net.delivered_count())
+        })
+    });
+
+    // Wave traffic with drains between waves: exercises the message free
+    // list (slot table stays one wave deep instead of growing 20×).
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("network_20_waves_of_100_messages_8x8", |b| {
+        b.iter(|| {
+            let mut net = NetworkSim::new(Torus2D::new(8, 8), LinkTiming::ev7_torus());
+            let mut rng = DetRng::seeded(7);
+            for wave in 0..20u64 {
+                for i in 0..100u64 {
+                    let src = rng.index(64);
+                    let dst = rng.index_excluding(64, src);
+                    net.send(
+                        net.now(),
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        MessageClass::Request,
+                        80,
+                        wave * 100 + i,
+                    );
+                }
+                net.drain();
+            }
+            black_box((net.delivered_count(), net.msg_slot_count()))
         })
     });
     g.finish();

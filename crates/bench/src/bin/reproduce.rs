@@ -1,40 +1,70 @@
 //! Regenerate every figure and table of the paper.
 //!
 //! ```text
-//! reproduce [--quick] [--json DIR] [fig15 fig28 ...]
+//! reproduce [--quick] [--jobs N | --sequential] [--json DIR] [fig15 fig28 ...]
 //! ```
 //!
 //! With no figure arguments, everything is regenerated in paper order and
 //! printed as text; `--json DIR` additionally writes one JSON file per
-//! artifact (EXPERIMENTS.md is generated from these).
+//! artifact (EXPERIMENTS.md is generated from these) plus a
+//! `BENCH_sweep.json` timing record (wall-clock per artifact, total, worker
+//! count, peak event-queue depth). The sweep fans out across all cores by
+//! default; `--jobs N` pins the worker count and `--sequential` is shorthand
+//! for `--jobs 1`. The artifact outputs are byte-identical either way — only
+//! `BENCH_sweep.json`, which records measured times, varies between runs.
 
 use std::io::Write;
+use std::time::Instant;
 
-use alphasim_bench::{run_all, Effort};
+use alphasim_bench::{jobs, run_all_timed, set_jobs, take_peak_event_depth, Effort};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_dir = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    if args.iter().any(|a| a == "--sequential") {
+        set_jobs(1);
+    }
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(n) = flag_value("--jobs") {
+        let n: usize = n
+            .parse()
+            .unwrap_or_else(|_| panic!("--jobs wants a number, got {n:?}"));
+        set_jobs(n.max(1));
+    }
+    let json_dir = flag_value("--json");
+    let mut skip_values: Vec<&str> = Vec::new();
+    for flag in ["--json", "--jobs"] {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            if let Some(v) = args.get(i + 1) {
+                skip_values.push(v.as_str());
+            }
+        }
+    }
     let wanted: Vec<&String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .filter(|a| Some(a.as_str()) != json_dir.as_deref())
+        .filter(|a| !skip_values.contains(&a.as_str()))
         .collect();
 
     let effort = if quick { Effort::Quick } else { Effort::Full };
-    eprintln!("regenerating all experiments ({effort:?}) ...");
-    let artifacts = run_all(effort);
+    let workers = jobs();
+    eprintln!("regenerating all experiments ({effort:?}, {workers} worker(s)) ...");
+    take_peak_event_depth(); // start the gauge fresh for this sweep
+    let wall = Instant::now();
+    let timed = run_all_timed(effort);
+    let total_secs = wall.elapsed().as_secs_f64();
+    let peak_depth = take_peak_event_depth();
 
     if let Some(dir) = &json_dir {
         std::fs::create_dir_all(dir).expect("create json dir");
     }
     let mut stdout = std::io::stdout().lock();
-    for a in &artifacts {
+    for (a, _) in &timed {
         if !wanted.is_empty() && !wanted.iter().any(|w| w.as_str() == a.id()) {
             continue;
         }
@@ -48,5 +78,32 @@ fn main() {
             .unwrap_or_else(|e| panic!("write {path}: {e}"));
         }
     }
-    eprintln!("done: {} artifacts", artifacts.len());
+    if let Some(dir) = &json_dir {
+        let artifacts_json: Vec<serde_json::Value> = timed
+            .iter()
+            .map(|(a, secs)| {
+                serde_json::json!({
+                    "id": a.id(),
+                    "wall_clock_s": secs,
+                })
+            })
+            .collect();
+        let sweep = serde_json::json!({
+            "effort": format!("{effort:?}"),
+            "jobs": workers as u64,
+            "total_wall_clock_s": total_secs,
+            "peak_event_queue_depth": peak_depth,
+            "artifacts": artifacts_json,
+        });
+        let path = format!("{dir}/BENCH_sweep.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&sweep).expect("serialise sweep"),
+        )
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    }
+    eprintln!(
+        "done: {} artifacts in {total_secs:.1}s ({workers} worker(s), peak event-queue depth {peak_depth})",
+        timed.len()
+    );
 }

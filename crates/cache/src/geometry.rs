@@ -84,7 +84,7 @@ impl CacheGeometry {
         assert!(ways >= 1, "need at least one way");
         let way_bytes = u64::from(ways) * line_bytes;
         assert!(
-            size_bytes % way_bytes == 0,
+            size_bytes.is_multiple_of(way_bytes),
             "size must divide into ways x lines"
         );
         let sets = size_bytes / way_bytes;

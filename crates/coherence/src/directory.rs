@@ -77,7 +77,10 @@ impl Directory {
 
     /// The state of `line` (Uncached when never touched).
     pub fn state(&self, line: u64) -> LineState {
-        self.lines.get(&line).cloned().unwrap_or(LineState::Uncached)
+        self.lines
+            .get(&line)
+            .cloned()
+            .unwrap_or(LineState::Uncached)
     }
 
     /// Protocol statistics so far.

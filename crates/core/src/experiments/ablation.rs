@@ -167,11 +167,7 @@ mod tests {
     #[test]
     fn responses_carry_most_bytes() {
         let shares = class_traffic_shares(16, 30);
-        let response = shares
-            .iter()
-            .find(|(n, _)| n == "BlockResponse")
-            .unwrap()
-            .1;
+        let response = shares.iter().find(|(n, _)| n == "BlockResponse").unwrap().1;
         let request = shares.iter().find(|(n, _)| n == "Request").unwrap().1;
         assert!(response > 0.6, "response share {response}");
         assert!(request < 0.4, "request share {request}");
@@ -230,10 +226,7 @@ pub fn link_failure_resilience(
                         32 | 64 => 8,
                         _ => 4,
                     };
-                    (
-                        NodeId::new(col % cols),
-                        NodeId::new((col + 1) % cols),
-                    )
+                    (NodeId::new(col % cols), NodeId::new((col + 1) % cols))
                 })
                 .collect();
             let net = machine.degraded_network(&cuts);

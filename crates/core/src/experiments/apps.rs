@@ -1,6 +1,9 @@
 //! Figs. 19–24: the three application classes of §5.
 
-use alphasim_system::loadtest::{gs1280_load_test, gs320_load_test, LoadTestConfig, TrafficPattern};
+use alphasim_kernel::par::parallel_map;
+use alphasim_system::loadtest::{
+    gs1280_load_test, gs320_load_test, LoadTestConfig, TrafficPattern,
+};
 use alphasim_system::{Es45, Gs1280, Gs320, Sc45};
 use alphasim_workloads::apps::{AppMachine, FluentModel, NasSpModel};
 
@@ -11,7 +14,10 @@ pub fn fig19() -> Figure {
     let f = FluentModel::fl5l1();
     let mut fig = Figure::new("fig19", "FLUENT 6: fl5l1", "# CPUs", "rating");
     let machines = [
-        (AppMachine::Gs1280(Gs1280::builder().cpus(32).build()), vec![1usize, 2, 4, 8, 16, 32]),
+        (
+            AppMachine::Gs1280(Gs1280::builder().cpus(32).build()),
+            vec![1usize, 2, 4, 8, 16, 32],
+        ),
         (AppMachine::Sc45(Sc45::new(32)), vec![4, 8, 16, 32]),
         (AppMachine::Gs320(Gs320::new(32)), vec![4, 8, 16, 32]),
     ];
@@ -36,9 +42,7 @@ pub fn fig20(samples: usize) -> Figure {
         "utilization (%)",
     );
     // Fluent's traffic is steady, with small solver-phase wiggle.
-    let wiggle = |i: usize, base: f64| {
-        base * 100.0 * (1.0 + 0.3 * ((i as f64) * 0.7).sin())
-    };
+    let wiggle = |i: usize, base: f64| base * 100.0 * (1.0 + 0.3 * ((i as f64) * 0.7).sin());
     fig.series.push(Series::from_pairs(
         "memory controllers (average)",
         (0..samples).map(|i| (i as f64, wiggle(i, f.zbox_utilization()))),
@@ -55,15 +59,15 @@ pub fn fig21() -> Figure {
     let sp = NasSpModel::class_c();
     let mut fig = Figure::new("fig21", "NAS Parallel SP", "# CPUs", "MOPS");
     let machines = [
-        (AppMachine::Gs1280(Gs1280::builder().cpus(32).build()), vec![1usize, 4, 9, 16, 25]),
+        (
+            AppMachine::Gs1280(Gs1280::builder().cpus(32).build()),
+            vec![1usize, 4, 9, 16, 25],
+        ),
         (AppMachine::Sc45(Sc45::new(32)), vec![4, 16, 25]),
         (AppMachine::Gs320(Gs320::new(32)), vec![4, 9, 16, 25]),
     ];
     for (m, counts) in machines {
-        let pts: Vec<(f64, f64)> = counts
-            .iter()
-            .map(|&n| (n as f64, sp.mops(&m, n)))
-            .collect();
+        let pts: Vec<(f64, f64)> = counts.iter().map(|&n| (n as f64, sp.mops(&m, n))).collect();
         fig.series.push(Series::from_pairs(m.name(), pts));
     }
     fig
@@ -78,9 +82,7 @@ pub fn fig22(samples: usize) -> Figure {
         "timestamp",
         "utilization (%)",
     );
-    let solver = |i: usize, base: f64| {
-        base * 100.0 * (1.0 + 0.25 * ((i as f64) * 1.1).sin())
-    };
+    let solver = |i: usize, base: f64| base * 100.0 * (1.0 + 0.25 * ((i as f64) * 1.1).sin());
     fig.series.push(Series::from_pairs(
         "memory controllers (average)",
         (0..samples).map(|i| (i as f64, solver(i, sp.zbox_utilization()))),
@@ -133,19 +135,31 @@ pub fn fig23(updates_per_cpu: usize) -> Figure {
         "# CPUs",
         "Mupdates/s",
     );
-    fig.series.push(Series::from_pairs(
-        "GS1280/1.15GHz",
-        [4usize, 8, 16, 32, 64]
-            .map(|n| (n as f64, gups_mups_gs1280(n, updates_per_cpu))),
-    ));
-    fig.series.push(Series::from_pairs(
-        "GS320/1.2GHz",
-        [4usize, 8, 16, 32].map(|n| (n as f64, gups_mups_gs320(n, updates_per_cpu))),
-    ));
-    fig.series.push(Series::from_pairs(
-        "ES45/1.25GHz",
-        [1usize, 2, 4].map(|n| (n as f64, gups_mups_es45(n))),
-    ));
+    // Every (machine, CPU-count) cell is an independent load test; fan the
+    // whole sweep out at once (the 64-CPU GS1280 run dominates, so item-level
+    // work stealing beats per-series fan-out).
+    enum Cell {
+        Gs1280(usize),
+        Gs320(usize),
+        Es45(usize),
+    }
+    let cells: Vec<Cell> = [4usize, 8, 16, 32, 64]
+        .iter()
+        .map(|&n| Cell::Gs1280(n))
+        .chain([4usize, 8, 16, 32].iter().map(|&n| Cell::Gs320(n)))
+        .chain([1usize, 2, 4].iter().map(|&n| Cell::Es45(n)))
+        .collect();
+    let mups = parallel_map(cells, |cell| match cell {
+        Cell::Gs1280(n) => (n as f64, gups_mups_gs1280(n, updates_per_cpu)),
+        Cell::Gs320(n) => (n as f64, gups_mups_gs320(n, updates_per_cpu)),
+        Cell::Es45(n) => (n as f64, gups_mups_es45(n)),
+    });
+    fig.series
+        .push(Series::from_pairs("GS1280/1.15GHz", mups[0..5].to_vec()));
+    fig.series
+        .push(Series::from_pairs("GS320/1.2GHz", mups[5..9].to_vec()));
+    fig.series
+        .push(Series::from_pairs("ES45/1.25GHz", mups[9..12].to_vec()));
     fig
 }
 
@@ -185,8 +199,10 @@ pub fn fig24(updates_per_cpu: usize) -> Figure {
         .iter()
         .map(|s| (s.at_ns, s.east_west * 100.0))
         .collect();
-    fig.series.push(Series::from_pairs("memory controller", mem));
-    fig.series.push(Series::from_pairs("average North/South", ns));
+    fig.series
+        .push(Series::from_pairs("memory controller", mem));
+    fig.series
+        .push(Series::from_pairs("average North/South", ns));
     fig.series.push(Series::from_pairs("average East/West", ew));
     fig
 }
@@ -243,10 +259,8 @@ mod tests {
         let ns = fig.series_like("North/South").unwrap();
         let ew = fig.series_like("East/West").unwrap();
         assert!(ns.points.len() >= 3, "need several samples");
-        let ns_mean: f64 =
-            ns.points.iter().map(|p| p.y).sum::<f64>() / ns.points.len() as f64;
-        let ew_mean: f64 =
-            ew.points.iter().map(|p| p.y).sum::<f64>() / ew.points.len() as f64;
+        let ns_mean: f64 = ns.points.iter().map(|p| p.y).sum::<f64>() / ns.points.len() as f64;
+        let ew_mean: f64 = ew.points.iter().map(|p| p.y).sum::<f64>() / ew.points.len() as f64;
         assert!(ew_mean > ns_mean, "E/W {ew_mean} vs N/S {ns_mean}");
         // Memory controllers see traffic too.
         let mem = fig.series_like("memory").unwrap();

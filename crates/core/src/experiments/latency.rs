@@ -35,7 +35,8 @@ pub fn fig12() -> Figure {
         })
         .collect();
     gs320.push((16.0, q.average_latency_from0().as_ns()));
-    fig.series.push(Series::from_pairs("GS1280/1.15GHz", gs1280));
+    fig.series
+        .push(Series::from_pairs("GS1280/1.15GHz", gs1280));
     fig.series.push(Series::from_pairs("GS320/1.2GHz", gs320));
     fig
 }
@@ -90,12 +91,7 @@ pub fn fig14() -> Figure {
     ));
     fig.series.push(Series::from_pairs(
         "GS320/1.2GHz",
-        [4usize, 8, 16, 32].map(|n| {
-            (
-                n as f64,
-                Gs320::new(n).average_latency_all_pairs().as_ns(),
-            )
-        }),
+        [4usize, 8, 16, 32].map(|n| (n as f64, Gs320::new(n).average_latency_all_pairs().as_ns())),
     ));
     fig
 }

@@ -1,6 +1,7 @@
 //! Figs. 4–5: dependent-load latency through the cache/memory hierarchy.
 
 use alphasim_cache::{CacheHierarchy, HierarchyConfig};
+use alphasim_kernel::par::parallel_map;
 use alphasim_kernel::SimDuration;
 use alphasim_mem::OpenPageTable;
 use alphasim_workloads::PointerChase;
@@ -102,14 +103,24 @@ pub fn fig04(sizes: &[u64], max_loads: u64) -> Figure {
         "dataset size (bytes)",
         "latency (ns)",
     );
-    for m in [
+    // Every (machine, size) point is an independent pure simulation, so the
+    // whole grid fans out at once; `parallel_map` keeps input order, which
+    // keeps the figure byte-identical to a sequential sweep.
+    let machines = [
         LatencyMachine::gs1280(),
         LatencyMachine::es45(),
         LatencyMachine::gs320(),
-    ] {
+    ];
+    let grid: Vec<(LatencyMachine, u64)> = machines
+        .iter()
+        .flat_map(|&m| sizes.iter().map(move |&s| (m, s)))
+        .collect();
+    let latencies = parallel_map(grid, |(m, s)| m.dependent_load_ns(s, 64, max_loads));
+    for (i, m) in machines.iter().enumerate() {
         let pts: Vec<(f64, f64)> = sizes
             .iter()
-            .map(|&s| (s as f64, m.dependent_load_ns(s, 64, max_loads)))
+            .zip(&latencies[i * sizes.len()..])
+            .map(|(&s, &ns)| (s as f64, ns))
             .collect();
         fig.series.push(Series::from_pairs(m.name, pts));
     }
@@ -126,11 +137,25 @@ pub fn fig05(sizes: &[u64], strides: &[u64], max_loads: u64) -> Figure {
         "dataset size (bytes)",
         "latency (ns)",
     );
+    // Flatten the stride × size surface into one ordered work list.
+    let grid: Vec<(u64, u64)> = strides
+        .iter()
+        .flat_map(|&stride| {
+            sizes
+                .iter()
+                .filter(move |&&s| s >= stride)
+                .map(move |&s| (stride, s))
+        })
+        .collect();
+    let latencies = parallel_map(grid.clone(), |(stride, s)| {
+        m.dependent_load_ns(s, stride, max_loads)
+    });
     for &stride in strides {
-        let pts: Vec<(f64, f64)> = sizes
+        let pts: Vec<(f64, f64)> = grid
             .iter()
-            .filter(|&&s| s >= stride)
-            .map(|&s| (s as f64, m.dependent_load_ns(s, stride, max_loads)))
+            .zip(&latencies)
+            .filter(|((st, _), _)| *st == stride)
+            .map(|(&(_, s), &ns)| (s as f64, ns))
             .collect();
         fig.series
             .push(Series::from_pairs(format!("stride {stride}B"), pts));
@@ -177,8 +202,14 @@ mod tests {
         let m = LatencyMachine::gs1280();
         let small_stride = m.dependent_load_ns(8 << 20, 64, 20_000);
         let large_stride = m.dependent_load_ns(8 << 20, 16384, 20_000);
-        assert!((80.0..95.0).contains(&small_stride), "open-ish {small_stride}");
-        assert!((120.0..135.0).contains(&large_stride), "closed {large_stride}");
+        assert!(
+            (80.0..95.0).contains(&small_stride),
+            "open-ish {small_stride}"
+        );
+        assert!(
+            (120.0..135.0).contains(&large_stride),
+            "closed {large_stride}"
+        );
     }
 
     #[test]

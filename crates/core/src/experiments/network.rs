@@ -1,5 +1,6 @@
 //! Figs. 15, 18, 26, 27: loaded interconnect behaviour.
 
+use alphasim_kernel::par::parallel_map;
 use alphasim_system::loadtest::{
     gs1280_load_test, gs320_load_test, LoadTestConfig, TrafficPattern,
 };
@@ -20,18 +21,17 @@ fn latency_vs_bandwidth_gs1280(
     requests_per_cpu: usize,
     pattern: TrafficPattern,
 ) -> Vec<(f64, f64)> {
-    windows
-        .iter()
-        .map(|&w| {
-            let r = gs1280_load_test(machine).run(&LoadTestConfig {
-                outstanding: w,
-                requests_per_cpu,
-                pattern,
-                ..Default::default()
-            });
-            (r.delivered_gbps * 1000.0, r.mean_latency.as_ns()) // MB/s-style axis in GB->MB
-        })
-        .collect()
+    // Each window value is an independent load test with its own simulator
+    // and seeded RNG; fan them out, keeping curve order.
+    parallel_map(windows.to_vec(), |w| {
+        let r = gs1280_load_test(machine).run(&LoadTestConfig {
+            outstanding: w,
+            requests_per_cpu,
+            pattern,
+            ..Default::default()
+        });
+        (r.delivered_gbps * 1000.0, r.mean_latency.as_ns()) // MB/s-style axis in GB->MB
+    })
 }
 
 /// Reproduce Fig. 15: latency vs delivered bandwidth under increasing load
@@ -44,38 +44,35 @@ pub fn fig15(windows: &[usize], requests_per_cpu: usize) -> Figure {
         "bandwidth (MB/s)",
         "latency (ns)",
     );
-    for cpus in [16usize, 32, 64] {
-        let m = Gs1280::builder().cpus(cpus).build();
-        fig.series.push(Series {
-            label: format!("GS1280/{cpus}P"),
-            points: latency_vs_bandwidth_gs1280(
-                &m,
-                windows,
-                requests_per_cpu,
-                TrafficPattern::UniformRemote,
-            )
-            .into_iter()
-            .map(|(x, y)| crate::types::Point { x, y })
-            .collect(),
-        });
-    }
-    for cpus in [16usize, 32] {
-        let m = Gs320::new(cpus);
-        let pts: Vec<(f64, f64)> = windows
-            .iter()
-            .map(|&w| {
-                let r = gs320_load_test(&m).run(&LoadTestConfig {
-                    outstanding: w,
+    fig.series
+        .extend(parallel_map(vec![16usize, 32, 64], |cpus| {
+            let m = Gs1280::builder().cpus(cpus).build();
+            Series {
+                label: format!("GS1280/{cpus}P"),
+                points: latency_vs_bandwidth_gs1280(
+                    &m,
+                    windows,
                     requests_per_cpu,
-                    pattern: TrafficPattern::UniformRemote,
-                    ..Default::default()
-                });
-                (r.delivered_gbps * 1000.0, r.mean_latency.as_ns())
-            })
-            .collect();
-        fig.series
-            .push(Series::from_pairs(format!("GS320/{cpus}P"), pts));
-    }
+                    TrafficPattern::UniformRemote,
+                )
+                .into_iter()
+                .map(|(x, y)| crate::types::Point { x, y })
+                .collect(),
+            }
+        }));
+    fig.series.extend(parallel_map(vec![16usize, 32], |cpus| {
+        let m = Gs320::new(cpus);
+        let pts = parallel_map(windows.to_vec(), |w| {
+            let r = gs320_load_test(&m).run(&LoadTestConfig {
+                outstanding: w,
+                requests_per_cpu,
+                pattern: TrafficPattern::UniformRemote,
+                ..Default::default()
+            });
+            (r.delivered_gbps * 1000.0, r.mean_latency.as_ns())
+        });
+        Series::from_pairs(format!("GS320/{cpus}P"), pts)
+    }));
     fig
 }
 
@@ -93,22 +90,23 @@ pub fn fig18(windows: &[usize], requests_per_cpu: usize) -> Figure {
         ("shuffle", Some(RoutePolicy::ShuffleFirstHop)),
         ("shuffle_2hop", Some(RoutePolicy::ShuffleFirstTwoHops)),
     ];
-    for (label, policy) in variants {
-        let mut b = Gs1280::builder().cpus(8);
-        if let Some(p) = policy {
-            b = b.shuffle(p);
-        }
-        let m = b.build();
-        fig.series.push(Series::from_pairs(
-            label,
-            latency_vs_bandwidth_gs1280(
-                &m,
-                windows,
-                requests_per_cpu,
-                TrafficPattern::UniformRemote,
-            ),
-        ));
-    }
+    fig.series
+        .extend(parallel_map(variants.to_vec(), |(label, policy)| {
+            let mut b = Gs1280::builder().cpus(8);
+            if let Some(p) = policy {
+                b = b.shuffle(p);
+            }
+            let m = b.build();
+            Series::from_pairs(
+                label,
+                latency_vs_bandwidth_gs1280(
+                    &m,
+                    windows,
+                    requests_per_cpu,
+                    TrafficPattern::UniformRemote,
+                ),
+            )
+        }));
     fig
 }
 
@@ -124,24 +122,17 @@ pub fn fig26(windows: &[usize], requests_per_cpu: usize) -> Figure {
         "bandwidth (MB/s)",
         "latency (ns)",
     );
-    fig.series.push(Series::from_pairs(
-        "non-striped",
-        latency_vs_bandwidth_gs1280(
-            &m,
-            windows,
-            requests_per_cpu,
-            TrafficPattern::HotSpot(0),
-        ),
-    ));
-    fig.series.push(Series::from_pairs(
-        "striped",
-        latency_vs_bandwidth_gs1280(
-            &m,
-            windows,
-            requests_per_cpu,
-            TrafficPattern::StripedHotSpot(0, partner),
-        ),
-    ));
+    let patterns = vec![
+        ("non-striped", TrafficPattern::HotSpot(0)),
+        ("striped", TrafficPattern::StripedHotSpot(0, partner)),
+    ];
+    fig.series
+        .extend(parallel_map(patterns, |(label, pattern)| {
+            Series::from_pairs(
+                label,
+                latency_vs_bandwidth_gs1280(&m, windows, requests_per_cpu, pattern),
+            )
+        }));
     fig
 }
 

@@ -90,10 +90,7 @@ pub fn utilization_figure(suite: Suite, samples: usize) -> Figure {
         let series = p.utilization_series(&m, samples);
         fig.series.push(Series::from_pairs(
             p.name,
-            series
-                .into_iter()
-                .enumerate()
-                .map(|(i, u)| (i as f64, u)),
+            series.into_iter().enumerate().map(|(i, u)| (i as f64, u)),
         ));
     }
     fig
@@ -190,7 +187,11 @@ mod tests {
         // Fig. 25: degradations mostly 0-30%, worst tail higher.
         let fig = fig25();
         let s = &fig.series[0];
-        assert!(s.peak_y() > 0.10 && s.peak_y() < 0.45, "peak {}", s.peak_y());
+        assert!(
+            s.peak_y() > 0.10 && s.peak_y() < 0.45,
+            "peak {}",
+            s.peak_y()
+        );
         let mesa = s.points[4].y; // mesa is index 4 in the fp order
         assert!(mesa < 0.05, "cache-resident mesa {mesa}");
     }

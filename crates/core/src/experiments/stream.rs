@@ -16,8 +16,7 @@ pub fn fig06() -> Figure {
     let g = Gs1280::builder().cpus(64).build();
     fig.series.push(Series::from_pairs(
         "HP GS1280/1.15GHz",
-        [1usize, 2, 4, 8, 16, 32, 64]
-            .map(|n| (n as f64, g.stream_triad_gbps(n))),
+        [1usize, 2, 4, 8, 16, 32, 64].map(|n| (n as f64, g.stream_triad_gbps(n))),
     ));
     let q = Gs320::new(32);
     fig.series.push(Series::from_pairs(

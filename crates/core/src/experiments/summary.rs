@@ -57,15 +57,51 @@ fn isv_proxies() -> Vec<(&'static str, SpecProfile, f64)> {
     };
     vec![
         // (label, profile, paper ratio from Fig. 28)
-        ("SAP SD Transaction Processing (32P)", p("sap", 1.1, 5.0, 200 * MB, 0.6), 1.5),
-        ("Decision Support internal (32P)", p("ds", 1.1, 4.0, 150 * MB, 0.5), 1.35),
-        ("Nastran internal xlem (4P)", p("nastran", 1.2, 6.0, 100 * MB, 0.5), 1.6),
-        ("Fluent 32P published (CFD)", p("fluent", 1.4, 3.0, 40 * MB, 0.5), 1.2),
-        ("StarCD 32P published (CFD)", p("starcd", 1.2, 10.0, 80 * MB, 0.55), 1.8),
-        ("Dyna/Neon internal 16P (crash)", p("dyna", 1.2, 4.0, 30 * MB, 0.4), 1.3),
-        ("MM5 internal 32P (weather)", p("mm5", 1.3, 18.0, 120 * MB, 0.7), 2.1),
-        ("Nwchem internal 32P (SiOSi3)", p("nwchem", 1.2, 8.0, 60 * MB, 0.45), 1.8),
-        ("Gaussian98 internal 32P (chemistry)", p("gaussian", 1.2, 7.0, 50 * MB, 0.4), 1.6),
+        (
+            "SAP SD Transaction Processing (32P)",
+            p("sap", 1.1, 5.0, 200 * MB, 0.6),
+            1.5,
+        ),
+        (
+            "Decision Support internal (32P)",
+            p("ds", 1.1, 4.0, 150 * MB, 0.5),
+            1.35,
+        ),
+        (
+            "Nastran internal xlem (4P)",
+            p("nastran", 1.2, 6.0, 100 * MB, 0.5),
+            1.6,
+        ),
+        (
+            "Fluent 32P published (CFD)",
+            p("fluent", 1.4, 3.0, 40 * MB, 0.5),
+            1.2,
+        ),
+        (
+            "StarCD 32P published (CFD)",
+            p("starcd", 1.2, 10.0, 80 * MB, 0.55),
+            1.8,
+        ),
+        (
+            "Dyna/Neon internal 16P (crash)",
+            p("dyna", 1.2, 4.0, 30 * MB, 0.4),
+            1.3,
+        ),
+        (
+            "MM5 internal 32P (weather)",
+            p("mm5", 1.3, 18.0, 120 * MB, 0.7),
+            2.1,
+        ),
+        (
+            "Nwchem internal 32P (SiOSi3)",
+            p("nwchem", 1.2, 8.0, 60 * MB, 0.45),
+            1.8,
+        ),
+        (
+            "Gaussian98 internal 32P (chemistry)",
+            p("gaussian", 1.2, 7.0, 50 * MB, 0.4),
+            1.6,
+        ),
     ]
 }
 
@@ -234,11 +270,7 @@ mod tests {
     #[test]
     fn fig28_applications_mostly_favor_gs1280() {
         let t = fig28(30);
-        let faster = t
-            .rows
-            .iter()
-            .filter(|r| r.computed > 1.0)
-            .count();
+        let faster = t.rows.iter().filter(|r| r.computed > 1.0).count();
         // "the majority of applications run faster on GS1280 than GS320";
         // only CPU speed (and possibly an int row) may dip below 1.
         assert!(faster >= t.rows.len() - 3, "{faster}/{}", t.rows.len());
@@ -263,8 +295,11 @@ mod tests {
         assert!(swim > 5.0, "swim {swim}");
         // They rank among the largest rows, as in the figure: only the raw
         // component-bandwidth rows may exceed them.
-        let mut sorted: Vec<(f64, &str)> =
-            t.rows.iter().map(|r| (r.computed, r.label.as_str())).collect();
+        let mut sorted: Vec<(f64, &str)> = t
+            .rows
+            .iter()
+            .map(|r| (r.computed, r.label.as_str()))
+            .collect();
         sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
         let top: Vec<&str> = sorted[..6].iter().map(|x| x.1).collect();
         assert!(top.iter().any(|l| l.starts_with("GUPS")), "{top:?}");

@@ -24,7 +24,10 @@ pub struct Series {
 
 impl Series {
     /// A series from `(x, y)` pairs.
-    pub fn from_pairs(label: impl Into<String>, pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+    pub fn from_pairs(
+        label: impl Into<String>,
+        pairs: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Self {
         Series {
             label: label.into(),
             points: pairs.into_iter().map(|(x, y)| Point { x, y }).collect(),
@@ -41,7 +44,10 @@ impl Series {
 
     /// The largest y in the series.
     pub fn peak_y(&self) -> f64 {
-        self.points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

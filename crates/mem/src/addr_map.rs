@@ -60,11 +60,14 @@ impl AddressMap {
     pub fn new(cpus: usize, bytes_per_cpu: u64, interleave: Interleave) -> Self {
         assert!(cpus > 0, "need at least one CPU");
         assert!(
-            bytes_per_cpu % 64 == 0 && bytes_per_cpu > 0,
+            bytes_per_cpu.is_multiple_of(64) && bytes_per_cpu > 0,
             "per-CPU memory must be a positive multiple of 64"
         );
         if interleave == Interleave::StripedPairs {
-            assert!(cpus % 2 == 0, "striping pairs CPUs; need an even count");
+            assert!(
+                cpus.is_multiple_of(2),
+                "striping pairs CPUs; need an even count"
+            );
         }
         AddressMap {
             cpus,

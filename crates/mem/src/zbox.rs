@@ -70,7 +70,11 @@ impl ZboxConfig {
     ///
     /// Panics if more channels fail than exist.
     pub fn degraded_bandwidth_gbps(&self, failed: u32) -> f64 {
-        assert!(failed <= self.channels, "cannot fail {failed} of {} channels", self.channels);
+        assert!(
+            failed <= self.channels,
+            "cannot fail {failed} of {} channels",
+            self.channels
+        );
         let absorbed = if self.redundant_channel { 1 } else { 0 };
         let effective_failures = failed.saturating_sub(absorbed);
         self.bandwidth_gbps * f64::from(self.channels - effective_failures)

@@ -234,7 +234,10 @@ mod tests {
             }
         }
         assert_eq!(from0 + from1, 20);
-        assert!((from0 as i64 - from1 as i64).abs() <= 2, "{from0} vs {from1}");
+        assert!(
+            (from0 as i64 - from1 as i64).abs() <= 2,
+            "{from0} vs {from1}"
+        );
     }
 
     #[test]

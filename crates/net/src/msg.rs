@@ -147,8 +147,16 @@ mod tests {
         }
         // The paper's specific statement: a Request can generate a Block
         // Response, but a Block Response cannot generate a Request.
-        assert!(reaches(MessageClass::Request, MessageClass::BlockResponse, 5));
-        assert!(!reaches(MessageClass::BlockResponse, MessageClass::Request, 5));
+        assert!(reaches(
+            MessageClass::Request,
+            MessageClass::BlockResponse,
+            5
+        ));
+        assert!(!reaches(
+            MessageClass::BlockResponse,
+            MessageClass::Request,
+            5
+        ));
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub struct NetworkSim<T: Topology> {
     link_of: Vec<Vec<usize>>,
     events: EventQueue<Event>,
     msgs: Vec<MsgState>,
+    /// Slots in `msgs` whose message has been delivered, ready for reuse.
+    /// A delivered [`MessageId`] is never dereferenced again (deliveries
+    /// copy every field out, and link queues only hold in-flight ids), so
+    /// recycling keeps `msgs` sized to the *in-flight* population instead of
+    /// growing with every message ever sent.
+    free: Vec<u32>,
     delivered: u64,
 }
 
@@ -113,6 +119,7 @@ impl<T: Topology> NetworkSim<T> {
             link_of,
             events: EventQueue::new(),
             msgs: Vec::new(),
+            free: Vec::new(),
             delivered: 0,
         }
     }
@@ -137,6 +144,18 @@ impl<T: Topology> NetworkSim<T> {
         self.delivered
     }
 
+    /// Message slots currently allocated (the high-water mark of messages
+    /// simultaneously in flight, not the total ever sent — delivered slots
+    /// are recycled through a free list).
+    pub fn msg_slot_count(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Of the allocated slots, how many are free for reuse right now.
+    pub fn free_slot_count(&self) -> usize {
+        self.free.len()
+    }
+
     /// Inject a message at time `at` (which must not be in the past).
     ///
     /// # Panics
@@ -154,8 +173,7 @@ impl<T: Topology> NetworkSim<T> {
     ) -> MessageId {
         assert!(src.index() < self.topo.node_count(), "bad source");
         assert!(dst.index() < self.topo.node_count(), "bad destination");
-        let id = MessageId(u32::try_from(self.msgs.len()).expect("too many messages"));
-        self.msgs.push(MsgState {
+        let state = MsgState {
             src,
             dst,
             class,
@@ -164,8 +182,17 @@ impl<T: Topology> NetworkSim<T> {
             injected_at: at,
             hops: 0,
             serialized: false,
-        });
-        self.events.schedule(at, Event::Arrive { msg: id, node: src });
+        };
+        let id = if let Some(slot) = self.free.pop() {
+            self.msgs[slot as usize] = state;
+            MessageId(slot)
+        } else {
+            let id = MessageId(u32::try_from(self.msgs.len()).expect("too many messages"));
+            self.msgs.push(state);
+            id
+        };
+        self.events
+            .schedule(at, Event::Arrive { msg: id, node: src });
         id
     }
 
@@ -177,7 +204,7 @@ impl<T: Topology> NetworkSim<T> {
                 if node == self.msgs[msg.index()].dst {
                     self.delivered += 1;
                     let m = &self.msgs[msg.index()];
-                    return Some(Step::Delivered(Delivery {
+                    let delivery = Delivery {
                         id: msg,
                         src: m.src,
                         dst: m.dst,
@@ -187,7 +214,9 @@ impl<T: Topology> NetworkSim<T> {
                         injected_at: m.injected_at,
                         delivered_at: now,
                         hops: m.hops,
-                    }));
+                    };
+                    self.free.push(msg.0);
+                    return Some(Step::Delivered(delivery));
                 }
                 let link_id = self.choose_output(msg, node);
                 let class = self.msgs[msg.index()].class;
@@ -227,9 +256,7 @@ impl<T: Topology> NetworkSim<T> {
     /// coherence classes, deterministic (first minimal port) for I/O.
     fn choose_output(&self, msg: MessageId, node: NodeId) -> usize {
         let m = &self.msgs[msg.index()];
-        let candidates = self
-            .routes
-            .minimal_ports(&self.topo, node, m.hops, m.dst);
+        let candidates = self.routes.minimal_ports(&self.topo, node, m.hops, m.dst);
         debug_assert!(!candidates.is_empty(), "routing dead end");
         let chosen = if m.class.may_route_adaptively() {
             *candidates
@@ -296,8 +323,15 @@ impl<T: Topology> NetworkSim<T> {
     /// Per-link statistics: `(from, to, direction, utilization, bytes)`.
     pub fn link_stats(
         &self,
-    ) -> impl Iterator<Item = (NodeId, NodeId, Option<alphasim_topology::Direction>, f64, u64)> + '_
-    {
+    ) -> impl Iterator<
+        Item = (
+            NodeId,
+            NodeId,
+            Option<alphasim_topology::Direction>,
+            f64,
+            u64,
+        ),
+    > + '_ {
         let now = self.now();
         self.links
             .iter()
@@ -361,7 +395,9 @@ impl<T: Topology> NetworkSim<T> {
             .links
             .iter()
             .filter(|l| pred(l.dir))
-            .fold((SimDuration::ZERO, 0u64), |(s, n), l| (s + l.busy_time(), n + 1));
+            .fold((SimDuration::ZERO, 0u64), |(s, n), l| {
+                (s + l.busy_time(), n + 1)
+            });
         if n == 0 {
             SimDuration::ZERO
         } else {
@@ -623,6 +659,71 @@ mod tests {
         assert!(net.node_ip_utilization(NodeId::new(0)) > 0.0);
         assert!(net.total_link_bytes() >= 100 * 64);
         assert_eq!(net.delivered_count(), 100);
+    }
+
+    #[test]
+    fn msg_slots_bounded_by_in_flight_population() {
+        // Regression test for the message free list: send 20 waves of 50
+        // messages, draining between waves. Live slot capacity must track the
+        // in-flight high-water mark (≤ one wave), not the 1000 total sent.
+        let mut net = sim4x4();
+        let mut rng = DetRng::seeded(7);
+        for wave in 0..20u64 {
+            for i in 0..50u64 {
+                let src = rng.index(16);
+                let dst = rng.index_excluding(16, src);
+                net.send(
+                    net.now(),
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    MessageClass::Request,
+                    16,
+                    wave * 50 + i,
+                );
+            }
+            net.drain();
+        }
+        assert_eq!(net.delivered_count(), 1000);
+        assert!(
+            net.msg_slot_count() <= 50,
+            "slot table grew past one wave: {}",
+            net.msg_slot_count()
+        );
+        // Everything is delivered, so every allocated slot is reusable.
+        assert_eq!(net.free_slot_count(), net.msg_slot_count());
+    }
+
+    #[test]
+    fn recycled_ids_deliver_with_correct_payloads() {
+        // After a slot is recycled its new message must carry its own
+        // src/dst/tag, not the previous occupant's.
+        let mut net = sim4x4();
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            16,
+            1,
+        );
+        let first = net.drain_deliveries();
+        assert_eq!(first[0].tag, 1);
+        let at = net.now();
+        let id = net.send(
+            at,
+            NodeId::new(2),
+            NodeId::new(7),
+            MessageClass::Forward,
+            32,
+            2,
+        );
+        assert_eq!(id, first[0].id, "slot was recycled");
+        let second = net.drain_deliveries();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].tag, 2);
+        assert_eq!(second[0].src, NodeId::new(2));
+        assert_eq!(second[0].dst, NodeId::new(7));
+        assert_eq!(second[0].bytes, 32);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`DetRng`] — a seedable random-number source so every experiment is
 //!   reproducible bit-for-bit;
 //! * [`stats`] — counters, running statistics, histograms, utilization meters
-//!   and time-series samplers used by the performance-counter ("Xmesh") layer.
+//!   and time-series samplers used by the performance-counter ("Xmesh") layer;
+//! * [`par`] — an ordered [`par::parallel_map`] used to fan independent
+//!   simulations out across OS threads without changing their results.
 //!
 //! # Examples
 //!
@@ -28,10 +30,11 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod par;
 mod rng;
 pub mod stats;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{peak_event_depth, take_peak_event_depth, EventQueue};
 pub use rng::DetRng;
 pub use time::{Frequency, SimDuration, SimTime};

@@ -106,9 +106,7 @@ impl MachineModel {
             MachineModel::Gs1280(m) => m.home_of(addr).index(),
             // GS320 memory interleaves across QBBs by region, like the
             // torus machine's per-CPU regions scaled to 1 GiB.
-            MachineModel::Gs320(m) => {
-                ((addr.get() >> 30) as usize) % m.cpus()
-            }
+            MachineModel::Gs320(m) => ((addr.get() >> 30) as usize) % m.cpus(),
         }
     }
 
@@ -121,12 +119,8 @@ impl MachineModel {
 
     fn read_clean(&self, requester: usize, home: usize) -> SimDuration {
         match self {
-            MachineModel::Gs1280(m) => {
-                m.read_clean(NodeId::new(requester), NodeId::new(home))
-            }
-            MachineModel::Gs320(m) => {
-                m.read_clean(NodeId::new(requester), NodeId::new(home))
-            }
+            MachineModel::Gs1280(m) => m.read_clean(NodeId::new(requester), NodeId::new(home)),
+            MachineModel::Gs320(m) => m.read_clean(NodeId::new(requester), NodeId::new(home)),
         }
     }
 
@@ -358,11 +352,7 @@ impl CoherentMachine {
                 }
             }
             ServedBy::OwnerCache => {
-                let owner = txn
-                    .critical
-                    .last()
-                    .expect("owner responds last")
-                    .from;
+                let owner = txn.critical.last().expect("owner responds last").from;
                 (
                     self.machine.read_dirty(cpu, home, owner),
                     ServiceClass::RemoteDirty,
@@ -413,10 +403,11 @@ mod tests {
         m.access(3, a, true); // CPU 3 dirties a line homed at CPU 8
         let out = m.access(12, a, false);
         assert_eq!(out.service, ServiceClass::RemoteDirty);
-        let expect = m
-            .machine()
-            .expect("built over a GS1280")
-            .read_dirty(NodeId::new(12), NodeId::new(8), NodeId::new(3));
+        let expect = m.machine().expect("built over a GS1280").read_dirty(
+            NodeId::new(12),
+            NodeId::new(8),
+            NodeId::new(3),
+        );
         assert_eq!(out.latency, expect);
     }
 
@@ -463,7 +454,11 @@ mod tests {
     fn stats_add_up() {
         let mut m = machine();
         for i in 0..50u64 {
-            m.access((i % 4) as usize, local_addr((i % 8) as usize, i * 64), i % 3 == 0);
+            m.access(
+                (i % 4) as usize,
+                local_addr((i % 8) as usize, i * 64),
+                i % 3 == 0,
+            );
         }
         let s = m.stats();
         assert_eq!(s.total(), 50);
@@ -479,11 +474,8 @@ mod tests {
         let a = local_addr(8, 1024);
         m.access(3, a, true);
         let gs1280 = m.access(12, a, false).latency;
-        let gs320 = crate::Gs320::new(16).read_dirty(
-            NodeId::new(12),
-            NodeId::new(8),
-            NodeId::new(3),
-        );
+        let gs320 =
+            crate::Gs320::new(16).read_dirty(NodeId::new(12), NodeId::new(8), NodeId::new(3));
         assert!(gs320 > gs1280 * 4, "{gs320} vs {gs1280}");
     }
 }

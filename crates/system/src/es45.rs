@@ -70,7 +70,10 @@ impl Es45 {
     /// demand against the box's shared sustained bandwidth (Fig. 7's
     /// 2.1 → 2.8 GB/s).
     pub fn stream_triad_gbps(&self, active: usize) -> f64 {
-        assert!(active >= 1 && active <= self.cpus, "active CPUs out of range");
+        assert!(
+            active >= 1 && active <= self.cpus,
+            "active CPUs out of range"
+        );
         let latency = self.local_latency(true);
         let per_cpu = self.calib.mshrs as f64 * 64.0 / latency.as_secs() / 1e9;
         (active as f64 * per_cpu).min(self.calib.sustained_mem_gbps) * 0.75
@@ -138,7 +141,10 @@ impl Sc45 {
     /// Counted STREAM-triad bandwidth: boxes scale linearly, CPUs within a
     /// box share (Fig. 6's SC45 estimate).
     pub fn stream_triad_gbps(&self, active: usize) -> f64 {
-        assert!(active >= 1 && active <= self.cpus(), "active CPUs out of range");
+        assert!(
+            active >= 1 && active <= self.cpus(),
+            "active CPUs out of range"
+        );
         let mut remaining = active;
         let mut total = 0.0;
         let per_box = Es45::new(4);

@@ -297,8 +297,7 @@ impl Gs1280 {
             for h in 0..n {
                 for o in 0..n {
                     if r != h && h != o && r != o {
-                        total +=
-                            self.read_dirty(NodeId::new(r), NodeId::new(h), NodeId::new(o));
+                        total += self.read_dirty(NodeId::new(r), NodeId::new(h), NodeId::new(o));
                         count += 1;
                     }
                 }
@@ -331,7 +330,10 @@ impl Gs1280 {
     /// bytes (write-allocate overhead). Scaling is linear — each CPU streams
     /// its own local memory (Figs. 6–7).
     pub fn stream_triad_gbps(&self, active: usize) -> f64 {
-        assert!(active >= 1 && active <= self.cpus(), "active CPUs out of range");
+        assert!(
+            active >= 1 && active <= self.cpus(),
+            "active CPUs out of range"
+        );
         let latency = self.effective_local_latency();
         let line = 64.0;
         let demand = self.calib.mshrs as f64 * line / latency.as_secs() / 1e9;
@@ -448,7 +450,10 @@ mod tests {
         let plain = Gs1280::builder().cpus(16).build();
         let striped = Gs1280::builder().cpus(16).striping(true).build();
         assert_eq!(plain.effective_local_latency().as_ns(), 83.0);
-        assert_eq!(striped.effective_local_latency().as_ns(), (83.0 + 139.0) / 2.0);
+        assert_eq!(
+            striped.effective_local_latency().as_ns(),
+            (83.0 + 139.0) / 2.0
+        );
         assert!(striped.striping());
     }
 
@@ -488,8 +493,8 @@ mod tests {
 
     #[test]
     fn network_round_trip_is_close_to_analytic_probe() {
-        use alphasim_net::MessageClass;
         use alphasim_kernel::SimTime;
+        use alphasim_net::MessageClass;
         let m = m16();
         let mut net = m.network();
         net.send(

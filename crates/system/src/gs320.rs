@@ -151,8 +151,7 @@ impl Gs320 {
             for h in 0..n {
                 for o in 0..n {
                     if r != h && h != o && r != o {
-                        total +=
-                            self.read_dirty(NodeId::new(r), NodeId::new(h), NodeId::new(o));
+                        total += self.read_dirty(NodeId::new(r), NodeId::new(h), NodeId::new(o));
                         count += 1;
                     }
                 }
@@ -165,7 +164,10 @@ impl Gs320 {
     /// per-CPU demand is MSHR-limited over the ~330 ns local latency, and
     /// the CPUs of each QBB share its ~1.5 GB/s sustained memory.
     pub fn stream_triad_gbps(&self, active: usize) -> f64 {
-        assert!(active >= 1 && active <= self.cpus(), "active CPUs out of range");
+        assert!(
+            active >= 1 && active <= self.cpus(),
+            "active CPUs out of range"
+        );
         let latency = self.local_latency(true);
         let per_cpu_demand = self.calib.mshrs as f64 * 64.0 / latency.as_secs() / 1e9;
         // Active CPUs fill QBBs in order (4 per QBB).
@@ -173,8 +175,7 @@ impl Gs320 {
         let mut traffic = 0.0;
         while remaining > 0 {
             let in_this_qbb = remaining.min(self.calib.cpus_per_mem_site);
-            traffic +=
-                (in_this_qbb as f64 * per_cpu_demand).min(self.calib.sustained_mem_gbps);
+            traffic += (in_this_qbb as f64 * per_cpu_demand).min(self.calib.sustained_mem_gbps);
             remaining -= in_this_qbb;
         }
         traffic * 0.75

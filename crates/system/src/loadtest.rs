@@ -146,7 +146,9 @@ impl<T: Topology> LoadTest<T> {
         );
         let mut zboxes = HashMap::new();
         for site in &site_of_cpu {
-            zboxes.entry(site.index()).or_insert_with(|| Zbox::new(zbox));
+            zboxes
+                .entry(site.index())
+                .or_insert_with(|| Zbox::new(zbox));
         }
         LoadTest {
             net,
@@ -169,7 +171,7 @@ impl<T: Topology> LoadTest<T> {
             }
             TrafficPattern::HotSpot(hot) => hot,
             TrafficPattern::StripedHotSpot(hot, partner) => {
-                if seq % 2 == 0 {
+                if seq.is_multiple_of(2) {
                     hot
                 } else {
                     partner
@@ -222,8 +224,7 @@ impl<T: Topology> LoadTest<T> {
                 MessageClass::BlockResponse => {
                     let cpu = (d.tag >> 32) as usize;
                     let started = start_of.remove(&d.tag).expect("unknown response tag");
-                    total_latency +=
-                        d.delivered_at.since(started) + self.front_overhead;
+                    total_latency += d.delivered_at.since(started) + self.front_overhead;
                     completed += 1;
                     if issued[cpu] < cfg.requests_per_cpu as u64 {
                         let now = self.net.now();
@@ -355,7 +356,7 @@ impl Sampler {
             east_west: (ew_delta.as_ps() as f64 / window).min(1.0),
             north_south: (ns_delta.as_ps() as f64 / window).min(1.0),
         };
-        self.next_at = self.next_at + self.interval;
+        self.next_at += self.interval;
         sample
     }
 }
@@ -461,11 +462,7 @@ mod tests {
             ..Default::default()
         });
         let hot = r.nodes[0].zbox_utilization;
-        let others: f64 = r.nodes[1..]
-            .iter()
-            .map(|n| n.zbox_utilization)
-            .sum::<f64>()
-            / 15.0;
+        let others: f64 = r.nodes[1..].iter().map(|n| n.zbox_utilization).sum::<f64>() / 15.0;
         assert!(hot > 0.3, "hot node util {hot}");
         assert_eq!(others, 0.0, "only node 0 serves memory");
     }

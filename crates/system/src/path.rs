@@ -82,9 +82,9 @@ mod tests {
         let t = Torus2D::new(8, 4);
         let timing = LinkTiming::ev7_torus();
         let ap = all_pairs(&t, &timing);
-        for a in 0..32 {
-            for b in 0..32 {
-                assert_eq!(ap[a][b], ap[b][a]);
+        for (a, row) in ap.iter().enumerate() {
+            for (b, &ab) in row.iter().enumerate() {
+                assert_eq!(ab, ap[b][a]);
             }
         }
     }

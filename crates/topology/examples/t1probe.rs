@@ -19,27 +19,59 @@ impl BiTwist {
                 let mut ps = Vec::new();
                 // East
                 if x + 1 < cols {
-                    ps.push(Port::directed(node(x + 1, y), LinkClass::Board, Direction::East));
+                    ps.push(Port::directed(
+                        node(x + 1, y),
+                        LinkClass::Board,
+                        Direction::East,
+                    ));
                 } else {
-                    ps.push(Port::directed(node(0, (y + th) % rows), LinkClass::Shuffle, Direction::East));
+                    ps.push(Port::directed(
+                        node(0, (y + th) % rows),
+                        LinkClass::Shuffle,
+                        Direction::East,
+                    ));
                 }
                 // West
                 if x > 0 {
-                    ps.push(Port::directed(node(x - 1, y), LinkClass::Board, Direction::West));
+                    ps.push(Port::directed(
+                        node(x - 1, y),
+                        LinkClass::Board,
+                        Direction::West,
+                    ));
                 } else {
-                    ps.push(Port::directed(node(cols - 1, (y + rows - th) % rows), LinkClass::Shuffle, Direction::West));
+                    ps.push(Port::directed(
+                        node(cols - 1, (y + rows - th) % rows),
+                        LinkClass::Shuffle,
+                        Direction::West,
+                    ));
                 }
                 // South
                 if y + 1 < rows {
-                    ps.push(Port::directed(node(x, y + 1), LinkClass::Board, Direction::South));
+                    ps.push(Port::directed(
+                        node(x, y + 1),
+                        LinkClass::Board,
+                        Direction::South,
+                    ));
                 } else {
-                    ps.push(Port::directed(node((x + tv) % cols, 0), LinkClass::Shuffle, Direction::South));
+                    ps.push(Port::directed(
+                        node((x + tv) % cols, 0),
+                        LinkClass::Shuffle,
+                        Direction::South,
+                    ));
                 }
                 // North
                 if y > 0 {
-                    ps.push(Port::directed(node(x, y - 1), LinkClass::Board, Direction::North));
+                    ps.push(Port::directed(
+                        node(x, y - 1),
+                        LinkClass::Board,
+                        Direction::North,
+                    ));
                 } else {
-                    ps.push(Port::directed(node((x + cols - tv) % cols, rows - 1), LinkClass::Shuffle, Direction::North));
+                    ps.push(Port::directed(
+                        node((x + cols - tv) % cols, rows - 1),
+                        LinkClass::Shuffle,
+                        Direction::North,
+                    ));
                 }
                 ports[node(x, y).index()] = ps;
             }
@@ -62,7 +94,10 @@ impl Topology for BiTwist {
         true
     }
     fn coord(&self, node: NodeId) -> Option<Coord> {
-        Some(Coord::new(node.index() % self.cols, node.index() / self.cols))
+        Some(Coord::new(
+            node.index() % self.cols,
+            node.index() / self.cols,
+        ))
     }
 }
 

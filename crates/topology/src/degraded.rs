@@ -111,12 +111,15 @@ mod tests {
 
     #[test]
     fn failing_a_link_removes_both_directions() {
-        let t = Degraded::new(
-            Torus2D::new(4, 4),
-            &[(NodeId::new(0), NodeId::new(1))],
-        );
-        assert!(!t.ports(NodeId::new(0)).iter().any(|p| p.to == NodeId::new(1)));
-        assert!(!t.ports(NodeId::new(1)).iter().any(|p| p.to == NodeId::new(0)));
+        let t = Degraded::new(Torus2D::new(4, 4), &[(NodeId::new(0), NodeId::new(1))]);
+        assert!(!t
+            .ports(NodeId::new(0))
+            .iter()
+            .any(|p| p.to == NodeId::new(1)));
+        assert!(!t
+            .ports(NodeId::new(1))
+            .iter()
+            .any(|p| p.to == NodeId::new(0)));
         assert_eq!(t.ports(NodeId::new(0)).len(), 3);
         assert_eq!(t.failed_links().len(), 1);
     }
@@ -164,9 +167,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "no link")]
     fn rejects_nonexistent_link() {
-        let _ = Degraded::new(
-            Torus2D::new(4, 4),
-            &[(NodeId::new(0), NodeId::new(10))],
-        );
+        let _ = Degraded::new(Torus2D::new(4, 4), &[(NodeId::new(0), NodeId::new(10))]);
     }
 }

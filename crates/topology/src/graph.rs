@@ -220,7 +220,10 @@ mod tests {
         assert_eq!(DistanceMatrix::compute(&Torus2D::new(4, 4)).diameter(), 4);
         assert_eq!(DistanceMatrix::compute(&Torus2D::new(8, 8)).diameter(), 8);
         assert_eq!(DistanceMatrix::compute(&Torus2D::new(8, 4)).diameter(), 6);
-        assert_eq!(DistanceMatrix::compute(&Torus2D::new(16, 16)).diameter(), 16);
+        assert_eq!(
+            DistanceMatrix::compute(&Torus2D::new(16, 16)).diameter(),
+            16
+        );
     }
 
     #[test]

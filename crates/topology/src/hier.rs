@@ -42,7 +42,7 @@ impl QbbTree {
     /// Panics if `cpus` is zero, not a multiple of 4, or exceeds 32.
     pub fn new(cpus: usize) -> Self {
         assert!(
-            cpus > 0 && cpus % Self::CPUS_PER_QBB == 0 && cpus <= 32,
+            cpus > 0 && cpus.is_multiple_of(Self::CPUS_PER_QBB) && cpus <= 32,
             "GS320 supports 4..=32 CPUs in multiples of 4"
         );
         let qbbs = cpus / Self::CPUS_PER_QBB;
@@ -196,7 +196,7 @@ impl StarCluster {
     /// Panics if `cpus` is zero or not a multiple of 4.
     pub fn new(cpus: usize) -> Self {
         assert!(
-            cpus > 0 && cpus % Self::CPUS_PER_BOX == 0,
+            cpus > 0 && cpus.is_multiple_of(Self::CPUS_PER_BOX),
             "SC45 grows in 4-CPU boxes"
         );
         let boxes = cpus / Self::CPUS_PER_BOX;

@@ -304,13 +304,10 @@ pub fn escape_network_is_acyclic(torus: &Torus2D, dateline_vcs: bool) -> bool {
                     wraps(here.y as usize, there.y as usize, torus.rows())
                 };
                 // Moving into a new dimension resets the dateline VC.
-                if prev.is_some() {
-                    let prev_dir_horizontal = {
-                        let p = prev.as_ref().unwrap();
-                        let pa = torus.coord_of(p.from);
-                        let pb = torus.coord_of(p.to);
-                        pa.y == pb.y
-                    };
+                if let Some(p) = prev.as_ref() {
+                    let pa = torus.coord_of(p.from);
+                    let pb = torus.coord_of(p.to);
+                    let prev_dir_horizontal = pa.y == pb.y;
                     if prev_dir_horizontal != dir.is_horizontal() {
                         vc = 0;
                     }
@@ -340,8 +337,7 @@ pub fn escape_network_is_acyclic(torus: &Torus2D, dateline_vcs: bool) -> bool {
         Black,
     }
     let keys: Vec<EscapeChannel> = edges.keys().copied().collect();
-    let mut marks: HashMap<EscapeChannel, Mark> =
-        keys.iter().map(|&k| (k, Mark::White)).collect();
+    let mut marks: HashMap<EscapeChannel, Mark> = keys.iter().map(|&k| (k, Mark::White)).collect();
     fn dfs(
         u: EscapeChannel,
         edges: &HashMap<EscapeChannel, HashSet<EscapeChannel>>,

@@ -48,7 +48,7 @@ impl ShuffleTorus {
     /// "farthest column"), or if `rows < 2`.
     pub fn new(cols: usize, rows: usize) -> Self {
         assert!(
-            cols >= 4 && cols % 2 == 0,
+            cols >= 4 && cols.is_multiple_of(2),
             "shuffle needs an even column count >= 4"
         );
         assert!(rows >= 2, "shuffle needs at least two rows");
@@ -214,8 +214,10 @@ mod tests {
         let s = ShuffleTorus::new(8, 4);
         // Interior vertical link is untouched.
         let n = s.node_at(Coord::new(3, 1));
-        assert!(s.ports(n).iter().any(|p| p.to == s.node_at(Coord::new(3, 2))
-            && p.class != LinkClass::Shuffle));
+        assert!(s
+            .ports(n)
+            .iter()
+            .any(|p| p.to == s.node_at(Coord::new(3, 2)) && p.class != LinkClass::Shuffle));
         // Wrap from the bottom row lands cols/2 away.
         let bottom = s.node_at(Coord::new(0, 3));
         let shuffle_port = s

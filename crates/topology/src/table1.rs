@@ -96,8 +96,7 @@ pub fn shuffle_gains(cols: usize, rows: usize) -> ShuffleGains {
 }
 
 /// The machine shapes of Table 1, as `(cols, rows)`.
-pub const TABLE1_SHAPES: [(usize, usize); 6] =
-    [(4, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16)];
+pub const TABLE1_SHAPES: [(usize, usize); 6] = [(4, 2), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16)];
 
 /// The paper's published Table 1 values, in [`TABLE1_SHAPES`] order:
 /// `(avg latency, worst latency, bisection width)` gains.

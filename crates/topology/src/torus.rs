@@ -119,7 +119,7 @@ impl Torus2D {
     pub fn module_partner(&self, node: NodeId) -> Option<NodeId> {
         let c = self.coord_of(node);
         let y = c.y as usize;
-        let partner_y = if y % 2 == 0 { y + 1 } else { y - 1 };
+        let partner_y = if y.is_multiple_of(2) { y + 1 } else { y - 1 };
         if partner_y < self.rows {
             Some(self.node_at(Coord::new(c.x as usize, partner_y)))
         } else {
@@ -135,7 +135,7 @@ impl Torus2D {
             return LinkClass::Cable;
         }
         // Same-module link: rows 2m ↔ 2m+1.
-        if y_from.min(y_to) % 2 == 0 && y_from.abs_diff(y_to) == 1 {
+        if y_from.min(y_to).is_multiple_of(2) && y_from.abs_diff(y_to) == 1 {
             LinkClass::Module
         } else {
             LinkClass::Board

@@ -115,7 +115,10 @@ impl FluentModel {
     /// Fluent "rating" (runs per day, the paper's Fig. 19 metric; higher is
     /// better) on `machine` with `cpus` CPUs.
     pub fn rating(&self, machine: &AppMachine, cpus: usize) -> f64 {
-        assert!(cpus >= 1 && cpus <= machine.cpus(), "CPU count out of range");
+        assert!(
+            cpus >= 1 && cpus <= machine.cpus(),
+            "CPU count out of range"
+        );
         // Per-CPU compute speed: clock-bound, boosted when the per-CPU
         // block fits the cache (blocked solvers re-use aggressively).
         let block_bytes = self.cells as f64 * self.bytes_per_cell / cpus as f64;
@@ -130,15 +133,11 @@ impl FluentModel {
         // Fig. 19 despite its big cache.
         let uncovered = (1.0 - machine.l2_bytes() as f64 / block_bytes).max(0.0);
         let mem_penalty = 1.0 + uncovered * machine.local_latency_ns() / 800.0;
-        let flops_per_sec_per_cpu =
-            machine.clock_ghz() * 1e9 * 0.8 * cache_bonus / mem_penalty;
+        let flops_per_sec_per_cpu = machine.clock_ghz() * 1e9 * 0.8 * cache_bonus / mem_penalty;
         // Parallel efficiency: halo exchanges per iteration.
-        let compute_s = self.cells as f64 * self.flops_per_cell
-            / (flops_per_sec_per_cpu * cpus as f64);
-        let comm_s = (cpus as f64).log2().max(0.0)
-            * machine.mpi_overhead_us()
-            * 1e-6
-            * 40.0; // exchanges per iteration
+        let compute_s =
+            self.cells as f64 * self.flops_per_cell / (flops_per_sec_per_cpu * cpus as f64);
+        let comm_s = (cpus as f64).log2().max(0.0) * machine.mpi_overhead_us() * 1e-6 * 40.0; // exchanges per iteration
         let seconds_per_iter = compute_s + comm_s;
         // Rating = runs/day; one run ≈ 1000 iterations.
         86_400.0 / (seconds_per_iter * 1000.0)
@@ -179,7 +178,10 @@ impl NasSpModel {
 
     /// Aggregate MOPS on `machine` with `cpus` CPUs (Fig. 21).
     pub fn mops(&self, machine: &AppMachine, cpus: usize) -> f64 {
-        assert!(cpus >= 1 && cpus <= machine.cpus(), "CPU count out of range");
+        assert!(
+            cpus >= 1 && cpus <= machine.cpus(),
+            "CPU count out of range"
+        );
         let bw_bound = machine.stream_gbps(cpus) * 1e9 / self.bytes_per_op / 1e6;
         let cpu_bound = self.peak_mops_per_cpu * cpus as f64;
         // MPI overhead shaves a few percent per doubling.

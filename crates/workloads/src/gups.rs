@@ -154,10 +154,7 @@ mod tests {
         for &i in &touched {
             counts[i as usize] += 1;
         }
-        let (min, max) = (
-            counts.iter().min().unwrap(),
-            counts.iter().max().unwrap(),
-        );
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
         assert!(*min > 250 && *max < 550, "min {min} max {max}");
     }
 

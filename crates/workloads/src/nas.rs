@@ -98,7 +98,10 @@ impl NasKernel {
     ///
     /// Panics if `cpus` is zero or exceeds the machine.
     pub fn mops(self, machine: &AppMachine, cpus: usize) -> f64 {
-        assert!(cpus >= 1 && cpus <= machine.cpus(), "CPU count out of range");
+        assert!(
+            cpus >= 1 && cpus <= machine.cpus(),
+            "CPU count out of range"
+        );
         let cpu_bound = self.peak_mops_per_cpu() * cpus as f64;
         let eff = 0.97f64.powf((cpus as f64).log2().max(0.0));
         if !self.is_bandwidth_bound() {

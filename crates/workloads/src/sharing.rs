@@ -119,7 +119,11 @@ mod tests {
     fn ping_pong_is_all_dirty_after_warmup() {
         let mut m = machine();
         let r = ping_pong(&mut m, 2, 9, addr(0, 0), 100);
-        assert!(r.dirty_fraction > 0.9, "dirty fraction {}", r.dirty_fraction);
+        assert!(
+            r.dirty_fraction > 0.9,
+            "dirty fraction {}",
+            r.dirty_fraction
+        );
         // Every transfer is a 3-hop forward: mean latency in the dirty band.
         let ns = r.mean_latency.as_ns();
         assert!((100.0..350.0).contains(&ns), "latency {ns}");
@@ -153,7 +157,11 @@ mod tests {
     fn producer_consumers_invalidate_then_fan_out() {
         let mut m = machine();
         let r = producer_consumers(&mut m, 3, addr(3, 0), 4, 5);
-        assert!(r.invalidations_per_access > 0.05, "{}", r.invalidations_per_access);
+        assert!(
+            r.invalidations_per_access > 0.05,
+            "{}",
+            r.invalidations_per_access
+        );
         assert!(r.stats.remote_dirty > 0);
         // The first consumer takes the dirty copy; later consumers read the
         // now-shared line from home memory.

@@ -186,8 +186,8 @@ impl SpecProfile {
         let spill = self.spill(m.l2_bytes);
         let per_ref = (1.0 - spill) * m.l2_latency_ns + spill * m.memory_latency_ns;
         let effective = per_ref / (1.0 + (m.mlp_capacity - 1.0) * self.overlap);
-        let cycles_per_kinst = 1000.0 / self.base_ipc
-            + self.refs_per_kinst * effective * m.clock_ghz;
+        let cycles_per_kinst =
+            1000.0 / self.base_ipc + self.refs_per_kinst * effective * m.clock_ghz;
         1000.0 / cycles_per_kinst
     }
 
@@ -195,8 +195,7 @@ impl SpecProfile {
     /// fill plus an eventual 64 B write-back per memory reference).
     pub fn bandwidth_demand_gbps(&self, m: &MachinePerf) -> f64 {
         let spill = self.spill(m.l2_bytes);
-        let misses_per_sec =
-            self.refs_per_kinst / 1000.0 * self.ipc(m) * m.clock_ghz * 1e9 * spill;
+        let misses_per_sec = self.refs_per_kinst / 1000.0 * self.ipc(m) * m.clock_ghz * 1e9 * spill;
         misses_per_sec * 128.0 / 1e9
     }
 
@@ -246,20 +245,132 @@ pub fn fp2000() -> Vec<SpecProfile> {
     use Suite::Fp;
     const MB: u64 = 1024 * 1024;
     vec![
-        SpecProfile { name: "wupwise", suite: Fp, base_ipc: 1.5, refs_per_kinst: 10.0, working_set: 176 * MB, overlap: 0.75, phase: Oscillate { periods: 3.0 } },
-        SpecProfile { name: "swim", suite: Fp, base_ipc: 1.6, refs_per_kinst: 60.0, working_set: 190 * MB, overlap: 1.0, phase: Flat },
-        SpecProfile { name: "mgrid", suite: Fp, base_ipc: 1.4, refs_per_kinst: 22.0, working_set: 56 * MB, overlap: 0.9, phase: Oscillate { periods: 6.0 } },
-        SpecProfile { name: "applu", suite: Fp, base_ipc: 1.3, refs_per_kinst: 30.0, working_set: 180 * MB, overlap: 0.85, phase: Oscillate { periods: 4.0 } },
-        SpecProfile { name: "mesa", suite: Fp, base_ipc: 1.6, refs_per_kinst: 2.0, working_set: 2 * MB, overlap: 0.5, phase: Flat },
-        SpecProfile { name: "galgel", suite: Fp, base_ipc: 1.6, refs_per_kinst: 10.0, working_set: 30 * MB, overlap: 0.6, phase: Oscillate { periods: 8.0 } },
-        SpecProfile { name: "art", suite: Fp, base_ipc: 0.9, refs_per_kinst: 35.0, working_set: 3_700_000, overlap: 0.5, phase: Bursty },
-        SpecProfile { name: "equake", suite: Fp, base_ipc: 1.0, refs_per_kinst: 25.0, working_set: 49 * MB, overlap: 0.7, phase: Decline },
-        SpecProfile { name: "facerec", suite: Fp, base_ipc: 1.3, refs_per_kinst: 9.0, working_set: 8 * MB, overlap: 0.65, phase: Flat },
-        SpecProfile { name: "ammp", suite: Fp, base_ipc: 0.9, refs_per_kinst: 12.0, working_set: 10 * MB, overlap: 0.3, phase: Decline },
-        SpecProfile { name: "lucas", suite: Fp, base_ipc: 1.2, refs_per_kinst: 28.0, working_set: 140 * MB, overlap: 0.8, phase: Flat },
-        SpecProfile { name: "fma3d", suite: Fp, base_ipc: 1.1, refs_per_kinst: 14.0, working_set: 100 * MB, overlap: 0.6, phase: Ramp },
-        SpecProfile { name: "sixtrack", suite: Fp, base_ipc: 1.1, refs_per_kinst: 8.0, working_set: MB, overlap: 0.4, phase: Flat },
-        SpecProfile { name: "apsi", suite: Fp, base_ipc: 1.2, refs_per_kinst: 6.0, working_set: 190 * MB, overlap: 0.5, phase: Oscillate { periods: 5.0 } },
+        SpecProfile {
+            name: "wupwise",
+            suite: Fp,
+            base_ipc: 1.5,
+            refs_per_kinst: 10.0,
+            working_set: 176 * MB,
+            overlap: 0.75,
+            phase: Oscillate { periods: 3.0 },
+        },
+        SpecProfile {
+            name: "swim",
+            suite: Fp,
+            base_ipc: 1.6,
+            refs_per_kinst: 60.0,
+            working_set: 190 * MB,
+            overlap: 1.0,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "mgrid",
+            suite: Fp,
+            base_ipc: 1.4,
+            refs_per_kinst: 22.0,
+            working_set: 56 * MB,
+            overlap: 0.9,
+            phase: Oscillate { periods: 6.0 },
+        },
+        SpecProfile {
+            name: "applu",
+            suite: Fp,
+            base_ipc: 1.3,
+            refs_per_kinst: 30.0,
+            working_set: 180 * MB,
+            overlap: 0.85,
+            phase: Oscillate { periods: 4.0 },
+        },
+        SpecProfile {
+            name: "mesa",
+            suite: Fp,
+            base_ipc: 1.6,
+            refs_per_kinst: 2.0,
+            working_set: 2 * MB,
+            overlap: 0.5,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "galgel",
+            suite: Fp,
+            base_ipc: 1.6,
+            refs_per_kinst: 10.0,
+            working_set: 30 * MB,
+            overlap: 0.6,
+            phase: Oscillate { periods: 8.0 },
+        },
+        SpecProfile {
+            name: "art",
+            suite: Fp,
+            base_ipc: 0.9,
+            refs_per_kinst: 35.0,
+            working_set: 3_700_000,
+            overlap: 0.5,
+            phase: Bursty,
+        },
+        SpecProfile {
+            name: "equake",
+            suite: Fp,
+            base_ipc: 1.0,
+            refs_per_kinst: 25.0,
+            working_set: 49 * MB,
+            overlap: 0.7,
+            phase: Decline,
+        },
+        SpecProfile {
+            name: "facerec",
+            suite: Fp,
+            base_ipc: 1.3,
+            refs_per_kinst: 9.0,
+            working_set: 8 * MB,
+            overlap: 0.65,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "ammp",
+            suite: Fp,
+            base_ipc: 0.9,
+            refs_per_kinst: 12.0,
+            working_set: 10 * MB,
+            overlap: 0.3,
+            phase: Decline,
+        },
+        SpecProfile {
+            name: "lucas",
+            suite: Fp,
+            base_ipc: 1.2,
+            refs_per_kinst: 28.0,
+            working_set: 140 * MB,
+            overlap: 0.8,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "fma3d",
+            suite: Fp,
+            base_ipc: 1.1,
+            refs_per_kinst: 14.0,
+            working_set: 100 * MB,
+            overlap: 0.6,
+            phase: Ramp,
+        },
+        SpecProfile {
+            name: "sixtrack",
+            suite: Fp,
+            base_ipc: 1.1,
+            refs_per_kinst: 8.0,
+            working_set: MB,
+            overlap: 0.4,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "apsi",
+            suite: Fp,
+            base_ipc: 1.2,
+            refs_per_kinst: 6.0,
+            working_set: 190 * MB,
+            overlap: 0.5,
+            phase: Oscillate { periods: 5.0 },
+        },
     ]
 }
 
@@ -269,18 +380,114 @@ pub fn int2000() -> Vec<SpecProfile> {
     use Suite::Int;
     const MB: u64 = 1024 * 1024;
     vec![
-        SpecProfile { name: "gzip", suite: Int, base_ipc: 1.4, refs_per_kinst: 3.0, working_set: 180 * MB, overlap: 0.6, phase: Bursty },
-        SpecProfile { name: "vpr", suite: Int, base_ipc: 1.0, refs_per_kinst: 5.0, working_set: 2 * MB, overlap: 0.3, phase: Flat },
-        SpecProfile { name: "cc1", suite: Int, base_ipc: 1.2, refs_per_kinst: 9.0, working_set: 22 * MB, overlap: 0.4, phase: Bursty },
-        SpecProfile { name: "mcf", suite: Int, base_ipc: 0.9, refs_per_kinst: 55.0, working_set: 100 * MB, overlap: 0.15, phase: Ramp },
-        SpecProfile { name: "crafty", suite: Int, base_ipc: 1.2, refs_per_kinst: 1.0, working_set: MB, overlap: 0.4, phase: Flat },
-        SpecProfile { name: "parser", suite: Int, base_ipc: 1.1, refs_per_kinst: 12.0, working_set: 30 * MB, overlap: 0.3, phase: Flat },
-        SpecProfile { name: "eon", suite: Int, base_ipc: 1.4, refs_per_kinst: 0.5, working_set: MB / 2, overlap: 0.4, phase: Flat },
-        SpecProfile { name: "gap", suite: Int, base_ipc: 1.1, refs_per_kinst: 15.0, working_set: 190 * MB, overlap: 0.5, phase: Oscillate { periods: 3.0 } },
-        SpecProfile { name: "perlbmk", suite: Int, base_ipc: 1.3, refs_per_kinst: 4.0, working_set: 60 * MB, overlap: 0.4, phase: Bursty },
-        SpecProfile { name: "vortex", suite: Int, base_ipc: 1.3, refs_per_kinst: 6.0, working_set: 70 * MB, overlap: 0.45, phase: Flat },
-        SpecProfile { name: "bzip2", suite: Int, base_ipc: 1.3, refs_per_kinst: 8.0, working_set: 180 * MB, overlap: 0.55, phase: Bursty },
-        SpecProfile { name: "twolf", suite: Int, base_ipc: 1.0, refs_per_kinst: 7.0, working_set: MB, overlap: 0.3, phase: Flat },
+        SpecProfile {
+            name: "gzip",
+            suite: Int,
+            base_ipc: 1.4,
+            refs_per_kinst: 3.0,
+            working_set: 180 * MB,
+            overlap: 0.6,
+            phase: Bursty,
+        },
+        SpecProfile {
+            name: "vpr",
+            suite: Int,
+            base_ipc: 1.0,
+            refs_per_kinst: 5.0,
+            working_set: 2 * MB,
+            overlap: 0.3,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "cc1",
+            suite: Int,
+            base_ipc: 1.2,
+            refs_per_kinst: 9.0,
+            working_set: 22 * MB,
+            overlap: 0.4,
+            phase: Bursty,
+        },
+        SpecProfile {
+            name: "mcf",
+            suite: Int,
+            base_ipc: 0.9,
+            refs_per_kinst: 55.0,
+            working_set: 100 * MB,
+            overlap: 0.15,
+            phase: Ramp,
+        },
+        SpecProfile {
+            name: "crafty",
+            suite: Int,
+            base_ipc: 1.2,
+            refs_per_kinst: 1.0,
+            working_set: MB,
+            overlap: 0.4,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "parser",
+            suite: Int,
+            base_ipc: 1.1,
+            refs_per_kinst: 12.0,
+            working_set: 30 * MB,
+            overlap: 0.3,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "eon",
+            suite: Int,
+            base_ipc: 1.4,
+            refs_per_kinst: 0.5,
+            working_set: MB / 2,
+            overlap: 0.4,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "gap",
+            suite: Int,
+            base_ipc: 1.1,
+            refs_per_kinst: 15.0,
+            working_set: 190 * MB,
+            overlap: 0.5,
+            phase: Oscillate { periods: 3.0 },
+        },
+        SpecProfile {
+            name: "perlbmk",
+            suite: Int,
+            base_ipc: 1.3,
+            refs_per_kinst: 4.0,
+            working_set: 60 * MB,
+            overlap: 0.4,
+            phase: Bursty,
+        },
+        SpecProfile {
+            name: "vortex",
+            suite: Int,
+            base_ipc: 1.3,
+            refs_per_kinst: 6.0,
+            working_set: 70 * MB,
+            overlap: 0.45,
+            phase: Flat,
+        },
+        SpecProfile {
+            name: "bzip2",
+            suite: Int,
+            base_ipc: 1.3,
+            refs_per_kinst: 8.0,
+            working_set: 180 * MB,
+            overlap: 0.55,
+            phase: Bursty,
+        },
+        SpecProfile {
+            name: "twolf",
+            suite: Int,
+            base_ipc: 1.0,
+            refs_per_kinst: 7.0,
+            working_set: MB,
+            overlap: 0.3,
+            phase: Flat,
+        },
     ]
 }
 
@@ -438,8 +645,10 @@ mod tests {
             PhasePattern::Bursty,
             PhasePattern::Decline,
         ] {
-            let mean: f64 =
-                (0..1000).map(|i| phase.factor(i as f64 / 1000.0)).sum::<f64>() / 1000.0;
+            let mean: f64 = (0..1000)
+                .map(|i| phase.factor(i as f64 / 1000.0))
+                .sum::<f64>()
+                / 1000.0;
             assert!((0.85..=1.15).contains(&mean), "{phase:?} mean {mean}");
         }
     }

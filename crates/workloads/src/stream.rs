@@ -146,7 +146,7 @@ impl Stream {
         let c0 = base + 2 * array_bytes;
         let mut out = Vec::new();
         let mut push_stream = |start: u64| {
-            for line in 0..(array_bytes + 63) / 64 {
+            for line in 0..array_bytes.div_ceil(64) {
                 out.push(Addr::new(start + line * 64));
             }
         };

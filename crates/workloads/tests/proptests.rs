@@ -6,10 +6,10 @@ use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = SpecProfile> {
     (
-        0.5f64..2.0,              // base_ipc
-        0.0f64..60.0,             // refs_per_kinst
+        0.5f64..2.0,                             // base_ipc
+        0.0f64..60.0,                            // refs_per_kinst
         (16u64..200_000).prop_map(|k| k * 1024), // working set
-        0.0f64..=1.0,             // overlap
+        0.0f64..=1.0,                            // overlap
     )
         .prop_map(|(base_ipc, refs, ws, overlap)| SpecProfile {
             name: "synthetic",

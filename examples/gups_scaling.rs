@@ -22,7 +22,10 @@ fn main() {
     println!("GUPS kernel self-check passed (500k updates)");
 
     // Then the throughput experiment on the simulated machines.
-    println!("\n{:>6} {:>18} {:>18}", "CPUs", "GS1280 Mup/s", "GS320 Mup/s");
+    println!(
+        "\n{:>6} {:>18} {:>18}",
+        "CPUs", "GS1280 Mup/s", "GS320 Mup/s"
+    );
     for cpus in [4usize, 8, 16, 32] {
         let g = apps::gups_mups_gs1280(cpus, 150);
         let q = apps::gups_mups_gs320(cpus, 150);

@@ -52,7 +52,10 @@ fn protocol_legs_replay_through_network() {
     // the bare network walk does not include; network time must be below
     // the analytic figure but the hop share of it.
     assert!(network_ns < analytic, "{network_ns} vs {analytic}");
-    assert!(network_ns > 0.4 * (analytic - 84.0), "{network_ns} vs {analytic}");
+    assert!(
+        network_ns > 0.4 * (analytic - 84.0),
+        "{network_ns} vs {analytic}"
+    );
 }
 
 /// The machine's one-way latency probe agrees with hop-by-hop composition
@@ -210,8 +213,7 @@ fn traffic_matrix_matches_network_bytes() {
     }
     let deliveries = net.drain_deliveries();
     // Every predicted byte arrives, between exactly the predicted pair.
-    let mut seen: std::collections::HashMap<(usize, usize), u64> =
-        std::collections::HashMap::new();
+    let mut seen: std::collections::HashMap<(usize, usize), u64> = std::collections::HashMap::new();
     for d in &deliveries {
         *seen.entry((d.src.index(), d.dst.index())).or_default() += d.bytes;
     }

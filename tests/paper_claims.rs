@@ -11,8 +11,8 @@ use alphasim::workloads::spec::Suite;
 fn fig04_crossover_structure() {
     let g = memory::LatencyMachine::gs1280();
     let q = memory::LatencyMachine::gs320();
-    let at_32m = q.dependent_load_ns(32 << 20, 64, 30_000)
-        / g.dependent_load_ns(32 << 20, 64, 30_000);
+    let at_32m =
+        q.dependent_load_ns(32 << 20, 64, 30_000) / g.dependent_load_ns(32 << 20, 64, 30_000);
     assert!((3.2..=4.4).contains(&at_32m), "32MB advantage {at_32m}");
     // In the 8 MB band the GS320's 16 MB B-cache wins.
     let g8 = g.dependent_load_ns(8 << 20, 64, 30_000);

@@ -1,0 +1,192 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the benchmark-harness surface the workspace's benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `sample_size`, `throughput`, `bench_function`, and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple: each benchmark warms up once, then
+//! takes `sample_size` wall-clock samples of a batch sized to run for at
+//! least a few milliseconds, and reports the best sample's per-iteration
+//! time (best-of-N is robust against scheduler noise on shared machines).
+//! Results print to stdout in a stable `name ... time/iter [throughput]`
+//! format.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            best_per_iter: Duration::MAX,
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        let per_iter = b.best_per_iter;
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut line = format!("{label:<45} {}", format_duration(per_iter));
+        if let Some(t) = self.throughput {
+            let secs = per_iter.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.3} Melem/s)", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  ({:.3} MiB/s)",
+                        n as f64 / secs / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// End the group (reporting happens per-benchmark; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; measures the routine under test.
+pub struct Bencher {
+    best_per_iter: Duration,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best per-iteration sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until one batch takes at
+        // least ~5 ms so timer quantization doesn't dominate.
+        let mut batch = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let per_iter = start.elapsed() / batch as u32;
+            if per_iter < self.best_per_iter {
+                self.best_per_iter = per_iter;
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = false;
+        g.bench_function("noop_sum", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

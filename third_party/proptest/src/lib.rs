@@ -1,0 +1,536 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of proptest the workspace's property tests use: the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`]
+//! macros, the [`Strategy`] trait with `prop_map` / `prop_filter`, range and
+//! tuple strategies, `prop::collection::vec`, `prop::sample::select`,
+//! [`any`], and [`ProptestConfig`].
+//!
+//! Sampling is deterministic (SplitMix64 seeded per test from the test name)
+//! with no shrinking: a failing case panics with the generated input so it
+//! can be reproduced by rerunning the test. Properties must hold for *all*
+//! inputs, so exercising a different-but-deterministic sample set than
+//! upstream proptest checks the same contracts.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: small, fast, and plenty for test-input sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` via 128-bit widening multiply.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, retrying generation.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $ty;
+                }
+                (lo as u64).wrapping_add(rng.below(span)) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// An arbitrary value of `T`, as `any::<T>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy over a type's full domain.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! arbitrary_impl {
+    ($($ty:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyStrategy<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let f: fn(&mut TestRng) -> $ty = $gen;
+                f(rng)
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = AnyStrategy<$ty>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+arbitrary_impl! {
+    bool => |rng| rng.next_u64() & 1 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    f64 => |rng| rng.unit_f64(),
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::fmt::Debug;
+        use std::ops::Range;
+
+        /// A `Vec` whose length is drawn from `len`, elements from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// Output of [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Debug,
+        {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.clone().generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+        use std::fmt::Debug;
+
+        /// One of the given options, uniformly.
+        pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+
+        /// Output of [`select`].
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: skip this input.
+    Reject(String),
+}
+
+/// Drive one property test: generate inputs, run the body, panic on failure.
+/// Called by the [`proptest!`] expansion; not part of the public API surface.
+pub fn run_proptest<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    // Deterministic per-test seed so failures reproduce exactly.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    let mut rng = TestRng::new(seed);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(1000);
+    while accepted < config.cases && attempts < max_attempts {
+        attempts += 1;
+        let input = strategy.generate(&mut rng);
+        let desc = format!("{input:?}");
+        match body(input) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed: {msg}\n  test: {name}\n  input: {desc}");
+            }
+        }
+    }
+    assert!(
+        accepted > 0,
+        "proptest {name}: every generated input was rejected by prop_assume!"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Property-test entry point: wraps `fn name(pat in strategy, ...) { body }`
+/// items into `#[test]` functions driven by [`run_proptest`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategy = ($($strat,)+);
+                $crate::run_proptest(&config, stringify!($name), &strategy, |($($pat,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_bounded((a, b) in (0u32..5, 1u32..=8), x in 0u64..1000) {
+            prop_assert!(a < 5);
+            prop_assert!((1..=8).contains(&b));
+            prop_assert!(x < 1000);
+        }
+
+        #[test]
+        fn vec_and_select(v in prop::collection::vec(0usize..10, 1..50),
+                          pick in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!(pick == 2 || pick == 4 || pick == 8);
+        }
+
+        #[test]
+        fn map_filter_assume(y in (0u32..100).prop_map(|v| v * 2)
+                                 .prop_filter("nonzero", |&v| v != 0),
+                             flag in any::<bool>()) {
+            prop_assume!(y != 4);
+            prop_assert!(y.is_multiple_of(2));
+            prop_assert!(usize::from(flag) <= 1);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let strat = (0u64..1_000_000, -1e6f64..1e6);
+        let mut r1 = super::TestRng::new(42);
+        let mut r2 = super::TestRng::new(42);
+        use super::Strategy;
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The ChaCha block function, used at 12 rounds by [`crate::rngs::StdRng`].
+
+/// "expand 32-byte k", little-endian.
+pub const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `key` is the 8 key words, `tail` the 4 trailing state
+/// words (64-bit block counter in words 0–1, stream id in words 2–3, matching
+/// `rand_chacha`'s legacy layout), `rounds` the round count (12 for StdRng).
+pub fn chacha_block(key: &[u32; 8], tail: [u32; 4], rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(key);
+    state[12..].copy_from_slice(&tail);
+    let initial = state;
+    debug_assert!(rounds.is_multiple_of(2));
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, &init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(init);
+    }
+    state
+}

@@ -1,0 +1,101 @@
+//! `StdRng`: ChaCha12 behind a 4-block output buffer, reproducing
+//! `rand` 0.8's `StdRng` (= `rand_chacha::ChaCha12Rng`) stream exactly,
+//! including the buffered `next_u32`/`next_u64` interleaving semantics of
+//! `rand_core::block::BlockRng`.
+
+use crate::chacha::chacha_block;
+use crate::{RngCore, SeedableRng};
+
+/// Words buffered per refill: `rand_chacha` generates 4 ChaCha blocks
+/// (256 bytes) at a time.
+const BUF_WORDS: usize = 64;
+
+/// The standard RNG, bit-compatible with `rand` 0.8's.
+#[derive(Clone)]
+pub struct StdRng {
+    key: [u32; 8],
+    /// 64-bit block counter (low word first), pre-increment of the next
+    /// refill's first block.
+    counter: u64,
+    /// Buffered output words of the last refill.
+    results: [u32; BUF_WORDS],
+    /// Next unread index into `results`.
+    index: usize,
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        for block in 0..4 {
+            let c = self.counter.wrapping_add(block as u64);
+            let tail = [c as u32, (c >> 32) as u32, 0, 0];
+            let out = chacha_block(&self.key, tail, 12);
+            self.results[block * 16..(block + 1) * 16].copy_from_slice(&out);
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+
+    #[inline]
+    fn generate_and_set(&mut self, index: usize) {
+        self.refill();
+        self.index = index;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        StdRng {
+            key,
+            counter: 0,
+            results: [0; BUF_WORDS],
+            // Empty buffer: first draw triggers a refill.
+            index: BUF_WORDS,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUF_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // Mirrors rand_core::block::BlockRng::next_u64, including the
+        // buffer-straddling case, so mixed u32/u64 draws stay aligned with
+        // upstream.
+        let read_u64 = |results: &[u32; BUF_WORDS], index: usize| -> u64 {
+            u64::from(results[index + 1]) << 32 | u64::from(results[index])
+        };
+        let index = self.index;
+        if index < BUF_WORDS - 1 {
+            self.index += 2;
+            read_u64(&self.results, index)
+        } else if index >= BUF_WORDS {
+            self.generate_and_set(2);
+            read_u64(&self.results, 0)
+        } else {
+            let x = u64::from(self.results[BUF_WORDS - 1]);
+            self.generate_and_set(1);
+            let y = u64::from(self.results[0]);
+            (y << 32) | x
+        }
+    }
+}
+
+impl std::fmt::Debug for StdRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StdRng").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,104 @@
+//! Uniform range sampling, matching `rand` 0.8.5's
+//! `UniformInt::sample_single_inclusive` (widening multiply + zone
+//! rejection) bit-for-bit on 64-bit targets.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Ranges drawable via [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from this range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Integer types supporting uniform range draws.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `low..=high`.
+    fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_64 {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low <= high);
+                let range = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if range == 0 {
+                    // The full span: any draw is uniform.
+                    return Rng::gen::<u64>(rng) as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: u64 = Rng::gen::<u64>(rng);
+                    let m = (v as u128) * (range as u128);
+                    let (hi, lo) = ((m >> 64) as u64, m as u64);
+                    if lo <= zone {
+                        return (low as u64).wrapping_add(hi) as $ty;
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_64!(u64);
+uniform_64!(usize);
+uniform_64!(i64);
+
+impl SampleUniform for u32 {
+    fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+        debug_assert!(low <= high);
+        // rand 0.8.5 samples u32 ranges from single u32 draws.
+        let range = high.wrapping_sub(low).wrapping_add(1);
+        if range == 0 {
+            return Rng::gen::<u32>(rng);
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v: u32 = Rng::gen::<u32>(rng);
+            let m = u64::from(v) * u64::from(range);
+            let (hi, lo) = ((m >> 32) as u32, m as u32);
+            if lo <= zone {
+                return low.wrapping_add(hi);
+            }
+        }
+    }
+}
+
+impl<T: SampleRangeExclusive> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // rand 0.8.5's sample_single delegates to the inclusive sampler on
+        // `low..=high-1`; SampleUniform implementations above take the
+        // already-decremented bound, so decrement here per type.
+        T::sample_range_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+/// Helper so `Range<T>` can form `high - 1` per concrete type.
+trait SampleRangeExclusive: SampleUniform {
+    fn sample_range_exclusive<R: RngCore>(low: Self, end: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! exclusive_int {
+    ($ty:ty) => {
+        impl SampleRangeExclusive for $ty {
+            fn sample_range_exclusive<R: RngCore>(low: Self, end: Self, rng: &mut R) -> Self {
+                Self::sample_inclusive(low, end - 1, rng)
+            }
+        }
+    };
+}
+
+exclusive_int!(u32);
+exclusive_int!(u64);
+exclusive_int!(usize);
+exclusive_int!(i64);

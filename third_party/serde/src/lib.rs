@@ -1,0 +1,327 @@
+//! Vendored, dependency-free subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! exactly what the workspace needs: a [`Serialize`] trait that renders
+//! directly into the JSON [`Value`] model (re-exported by the vendored
+//! `serde_json`), a [`Deserialize`] marker trait (derived everywhere but never
+//! invoked at runtime), and impls for the primitive and container types the
+//! workspace's derived structs contain.
+//!
+//! Objects are backed by a `BTreeMap<String, Value>`, matching upstream
+//! `serde_json`'s default (non-`preserve_order`) map: keys serialize in
+//! sorted order, which is what the committed `results/*.json` artifacts
+//! contain.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value (the subset of `serde_json::Value` the workspace touches).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number: integers keep their integer-ness so they print without a
+/// decimal point, exactly as upstream `serde_json` does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Value {
+    /// `true` for `Value::Object`.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// `true` for `Value::Array`.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Member lookup on objects, `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The `&str` inside `Value::String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization into the JSON [`Value`] model.
+///
+/// Upstream serde is format-agnostic; this workspace only ever serializes to
+/// JSON, so the trait collapses to a single method.
+pub trait Serialize {
+    /// This value as a JSON tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker for deserializable types.
+///
+/// The workspace derives `Deserialize` on its data types but never actually
+/// deserializes at runtime, so the shim keeps only the trait bound surface.
+pub trait Deserialize {}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $ty {}
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $ty {}
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json_value(&self) -> Value {
+                let x = f64::from(*self);
+                if x.is_finite() {
+                    Value::Number(Number::Float(x))
+                } else {
+                    // serde_json maps non-finite floats to null.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $ty {}
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / smart-pointer impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for BTreeSet<T> {}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for HashSet<T> {}
+
+/// JSON object keys must be strings; mirror serde_json's runtime conversion
+/// of integer keys and rejection of everything else.
+fn key_string(value: Value) -> String {
+    match value {
+        Value::String(s) => s,
+        Value::Number(Number::PosInt(n)) => n.to_string(),
+        Value::Number(Number::NegInt(n)) => n.to_string(),
+        other => panic!("map key must serialize to a string or integer, got {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_json_value()), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_json_value()), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize, V: Deserialize> Deserialize for HashMap<K, V> {}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+
+ser_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_object_keys_and_integer_map_keys() {
+        let mut m = HashMap::new();
+        m.insert(10u64, "ten");
+        m.insert(2u64, "two");
+        let v = m.to_json_value();
+        match v {
+            Value::Object(map) => {
+                // BTreeMap<String> storage: lexicographic key order.
+                let keys: Vec<_> = map.keys().cloned().collect();
+                assert_eq!(keys, vec!["10".to_string(), "2".to_string()]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn option_and_nonfinite_floats_become_null() {
+        assert_eq!(None::<u32>.to_json_value(), Value::Null);
+        assert_eq!(f64::NAN.to_json_value(), Value::Null);
+        assert_eq!(1.5f64.to_json_value(), Value::Number(Number::Float(1.5)));
+    }
+}

@@ -1,0 +1,412 @@
+//! Vendored derive macros for the serde shim.
+//!
+//! No syn/quote (crates.io is unreachable in this build environment), so the
+//! input item is parsed directly from the `proc_macro::TokenStream`. The
+//! parser covers exactly the shapes this workspace derives on: named-field
+//! structs (optionally generic), tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants — all without `#[serde(...)]` attributes.
+//!
+//! Generated `Serialize` impls produce the same JSON tree upstream
+//! `serde_json::to_value` would: structs as objects (sorted keys via the
+//! shim's `BTreeMap` object representation), newtype structs as their inner
+//! value, tuple structs as arrays, and enums externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+enum Body {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers (lifetimes and const params unused here).
+    generics: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Body::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive only supports struct/enum, found `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("malformed attribute, found {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)`, `pub(super)`, `pub(in ...)`
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parse `<A, B: Bound, 'a>` into the list of type-parameter names, leaving
+/// `i` just past the closing `>`. Lifetimes are skipped; bounds are ignored.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    // A new parameter starts at depth 1, right after `<` or a `,`.
+    let mut at_param_start = true;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                ',' if depth == 1 => at_param_start = true,
+                '\'' => {
+                    // Lifetime: consume the quote; the following ident is
+                    // not a type parameter.
+                    *i += 1;
+                    at_param_start = false;
+                    continue;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_param_start => {
+                let s = id.to_string();
+                if s != "const" {
+                    params.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Field names of `{ a: T, b: U }`, skipping attributes, visibility, and
+/// types (tracking `<`/`>` depth so commas inside generics don't split).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_past_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Advance past the type (or expression) up to and including the next
+/// top-level `,`, honoring angle-bracket nesting.
+fn skip_past_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Field count of `(T, U)`: top-level commas + 1, minus a trailing comma.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut last_was_comma = false;
+    for tok in &tokens {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    commas += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    commas + 1 - usize::from(last_was_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_past_comma(&tokens, &mut i);
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `<T: serde::Serialize, U: serde::Serialize>` / `<T, U>` / empty pair.
+fn generics_for(item: &Item, bound: Option<&str>) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decl: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| match bound {
+            Some(b) => format!("{g}: {b}"),
+            None => g.clone(),
+        })
+        .collect();
+    (
+        format!("<{}>", decl.join(", ")),
+        format!("<{}>", item.generics.join(", ")),
+    )
+}
+
+fn render_serialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = generics_for(item, Some("serde::Serialize"));
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl{impl_generics} serde::Serialize for {name}{ty_generics} {{ \
+         fn to_json_value(&self) -> serde::Value {{ "
+    );
+    match &item.body {
+        Body::NamedStruct(fields) => {
+            out.push_str("let mut map = ::std::collections::BTreeMap::new(); ");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "map.insert(::std::string::String::from(\"{f}\"), \
+                     serde::Serialize::to_json_value(&self.{f})); "
+                );
+            }
+            out.push_str("serde::Value::Object(map) ");
+        }
+        Body::TupleStruct(1) => {
+            // Newtype: serialize as the inner value.
+            out.push_str("serde::Serialize::to_json_value(&self.0) ");
+        }
+        Body::TupleStruct(n) => {
+            out.push_str("serde::Value::Array(::std::vec![");
+            for idx in 0..*n {
+                let _ = write!(out, "serde::Serialize::to_json_value(&self.{idx}), ");
+            }
+            out.push_str("]) ");
+        }
+        Body::UnitStruct => {
+            out.push_str("serde::Value::Null ");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self { ");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} => serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")), "
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let _ = write!(out, "{name}::{vname}({}) => {{ ", binders.join(", "));
+                        out.push_str("let mut map = ::std::collections::BTreeMap::new(); ");
+                        if *n == 1 {
+                            let _ = write!(
+                                out,
+                                "map.insert(::std::string::String::from(\"{vname}\"), \
+                                 serde::Serialize::to_json_value(__f0)); "
+                            );
+                        } else {
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            let _ = write!(
+                                out,
+                                "map.insert(::std::string::String::from(\"{vname}\"), \
+                                 serde::Value::Array(::std::vec![{}])); ",
+                                elems.join(", ")
+                            );
+                        }
+                        out.push_str("serde::Value::Object(map) } ");
+                    }
+                    VariantKind::Struct(fields) => {
+                        let _ = write!(out, "{name}::{vname} {{ {} }} => {{ ", fields.join(", "));
+                        out.push_str("let mut inner = ::std::collections::BTreeMap::new(); ");
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "inner.insert(::std::string::String::from(\"{f}\"), \
+                                 serde::Serialize::to_json_value({f})); "
+                            );
+                        }
+                        let _ = write!(
+                            out,
+                            "let mut map = ::std::collections::BTreeMap::new(); \
+                             map.insert(::std::string::String::from(\"{vname}\"), \
+                             serde::Value::Object(inner)); serde::Value::Object(map) }} "
+                        );
+                    }
+                }
+            }
+            out.push_str("} ");
+        }
+    }
+    out.push_str("} }");
+    out
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let (impl_generics, ty_generics) = generics_for(item, None);
+    format!(
+        "#[automatically_derived] impl{impl_generics} serde::Deserialize for {}{ty_generics} {{}}",
+        item.name
+    )
+}

@@ -1,0 +1,208 @@
+//! Vendored, dependency-free subset of `serde_json`.
+//!
+//! Provides the slice of the API the workspace uses — [`Value`],
+//! [`to_value`], [`to_string`], [`to_string_pretty`], and the [`json!`]
+//! macro — over the value model defined in the vendored `serde` crate.
+//!
+//! Output formatting matches upstream `serde_json` (compact and 2-space
+//! pretty printers, sorted object keys, integers without a decimal point,
+//! floats through Rust's shortest round-trip formatting with a `.0` suffix
+//! for integral values). Byte-compatibility with upstream is pinned by the
+//! committed `results/*.json` artifacts, which regenerate identically.
+
+pub use serde::{Number, Value};
+
+use std::fmt;
+
+/// Serialization error. The shim's tree-building serializer is infallible,
+/// so this exists only to keep `Result`-shaped call sites source-compatible.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any serializable value into a JSON [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Compact JSON text (no whitespace).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Pretty JSON text: 2-space indent, matching upstream `serde_json`.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-like literal. Supports the object, array,
+/// and expression forms the workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = ::std::collections::BTreeMap::new();
+        $(
+            map.insert(
+                ::std::string::String::from($key),
+                $crate::to_value(&$val).expect("json! value serializes"),
+            );
+        )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    use std::fmt::Write;
+    match n {
+        Number::PosInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::NegInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(x) => {
+            // Mirror ryu (upstream's float formatter): integral doubles get a
+            // trailing `.0`; everything else uses Rust's shortest
+            // round-trip decimal form, identical to ryu's digits in the
+            // plain-decimal range the workspace's data occupies.
+            if *x == x.trunc() && x.abs() < 1e16 {
+                let _ = write!(out, "{x:.1}");
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_upstream_shape() {
+        let v = json!({ "id": "fig", "vals": [1.0_f64, 4096.0_f64], "n": 3_u64 });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"id\": \"fig\",\n  \"n\": 3,\n  \"vals\": [\n    1.0,\n    4096.0\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn float_formatting() {
+        let cases: [(f64, &str); 5] = [
+            (0.0, "0.0"),
+            (4096.0, "4096.0"),
+            (0.002809437266225623, "0.002809437266225623"),
+            (83.0, "83.0"),
+            (-1.5, "-1.5"),
+        ];
+        for (x, want) in cases {
+            let s = to_string(&x).unwrap();
+            assert_eq!(s, want, "formatting {x}");
+        }
+    }
+
+    #[test]
+    fn compact_and_empty_containers() {
+        let v = json!({ "a": Vec::<u64>::new() });
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":[]}");
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": []\n}");
+        assert!(v.is_object());
+    }
+}
