@@ -6,6 +6,7 @@ pub mod apps;
 pub mod latency;
 pub mod memory;
 pub mod network;
+pub mod resilience;
 pub mod spec;
 pub mod stream;
 pub mod summary;

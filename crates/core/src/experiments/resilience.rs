@@ -1,0 +1,192 @@
+//! Resilience sweep: achieved bisection bandwidth and latency as torus
+//! links fail mid-run.
+//!
+//! The GS1280's adaptive router is the paper's answer to fabric wounds
+//! (§2's "the router supports … reconfiguration around failed links").
+//! This experiment quantifies that promise with live fault injection:
+//! every CPU streams reads across the vertical bisection while a
+//! [`FaultPlan`] cuts 0→k of the bisection-crossing links out from under
+//! the traffic. Lost packets are recovered by the coherence
+//! timeout-and-retry path; the curve reports what survives — delivered
+//! bisection bandwidth, mean and p99 read latency, and the retry bill —
+//! per failure count.
+
+use alphasim_coherence::RetryPolicy;
+use alphasim_kernel::par::parallel_map;
+use alphasim_kernel::{FaultKind, FaultPlan, SimDuration, SimTime};
+use alphasim_system::Gs1280;
+use alphasim_system::{
+    gs1280_fault_campaign, CampaignPattern, CampaignResult, FaultCampaignConfig,
+};
+use alphasim_topology::graph::DistanceMatrix;
+use alphasim_topology::{Degraded, NodeId, Torus2D};
+
+use crate::types::{Figure, Series};
+
+/// The vertical-bisection links of a `cols x rows` torus, one per row:
+/// the eastward link from column `cols/2 - 1` to `cols/2`. Cutting up to
+/// `rows - 1` of them leaves the torus connected (edge connectivity 4) but
+/// narrows the bisection the traffic must cross.
+pub fn bisection_cuts(cpus: usize, count: usize) -> Vec<(usize, usize)> {
+    let torus = Torus2D::for_cpus(cpus);
+    let (cols, rows) = (torus.cols(), torus.rows());
+    assert!(
+        count < rows,
+        "cutting every row's bisection link would sever the halves"
+    );
+    (0..count)
+        .map(|row| {
+            let west = row * cols + (cols / 2 - 1);
+            (west, west + 1)
+        })
+        .collect()
+}
+
+/// Sanity-check a cut set before simulating it: the links must exist and
+/// the wounded torus must stay connected. Panics loudly otherwise — a
+/// partitioned sweep point would silently report zeros.
+fn assert_survivable(cpus: usize, cuts: &[(usize, usize)]) {
+    let torus = Torus2D::for_cpus(cpus);
+    let failed: Vec<(NodeId, NodeId)> = cuts
+        .iter()
+        .map(|&(a, b)| (NodeId::new(a), NodeId::new(b)))
+        .collect();
+    let wounded = Degraded::try_new(torus, &failed).expect("cut links exist");
+    let dist = DistanceMatrix::compute(&wounded);
+    assert!(
+        dist.is_connected(),
+        "cut set {cuts:?} partitions the {cpus}-node torus"
+    );
+}
+
+/// One sweep point: run the bisection fault campaign on a `cpus`-node
+/// GS1280 with `failures` bisection links dying mid-run.
+pub fn campaign_at(cpus: usize, failures: usize, requests_per_cpu: usize) -> CampaignResult {
+    let cuts = bisection_cuts(cpus, failures);
+    assert_survivable(cpus, &cuts);
+    let mut plan = FaultPlan::new();
+    for (i, &(a, b)) in cuts.iter().enumerate() {
+        // Stagger the strikes through the early run, so each lands on
+        // live traffic and the router re-adapts repeatedly.
+        let at = SimTime::ZERO + SimDuration::from_us(2.0) + SimDuration::from_us(1.0) * i as u64;
+        plan.push(at, FaultKind::LinkDown { a, b });
+    }
+    let machine = Gs1280::builder().cpus(cpus).build();
+    gs1280_fault_campaign(&machine).run(&FaultCampaignConfig {
+        outstanding: 8,
+        requests_per_cpu,
+        pattern: CampaignPattern::Bisection,
+        plan,
+        // Packets lost with a wire are retried immediately from the drop
+        // report, so the timeout is purely a lost-response safety net. Keep
+        // it well above the wounded machine's congested tail latency —
+        // a tight timeout reads congestion as loss and the spurious
+        // retries feed the congestion they misdiagnosed.
+        retry: RetryPolicy {
+            timeout: SimDuration::from_us(50.0),
+            backoff_base: SimDuration::from_us(2.0),
+            backoff_cap: SimDuration::from_us(32.0),
+            max_retries: 6,
+        },
+        watchdog_window: SimDuration::from_us(250.0),
+        ..Default::default()
+    })
+}
+
+/// The resilience artifact: bisection bandwidth, latency, and retries vs
+/// failed-link count, each sweep point an independent deterministic
+/// campaign (fanned out via [`parallel_map`], collected in order).
+pub fn resilience(cpus: usize, max_failures: usize, requests_per_cpu: usize) -> Figure {
+    let results = parallel_map((0..=max_failures).collect::<Vec<_>>(), move |k| {
+        (k, campaign_at(cpus, k, requests_per_cpu))
+    });
+    let pairs = |f: &dyn Fn(&CampaignResult) -> f64| -> Vec<(f64, f64)> {
+        results.iter().map(|(k, r)| (*k as f64, f(r))).collect()
+    };
+    Figure::new(
+        "resilience",
+        format!("Resilience sweep: bisection traffic on {cpus}P with links failing mid-run"),
+        "failed bisection links",
+        "GB/s | ns | count",
+    )
+    .with_series(Series::from_pairs(
+        "achieved bisection bandwidth (GB/s)",
+        pairs(&|r| r.steady_gbps),
+    ))
+    .with_series(Series::from_pairs(
+        "end-to-end delivered incl. recovery tail (GB/s)",
+        pairs(&|r| r.delivered_gbps),
+    ))
+    .with_series(Series::from_pairs(
+        "mean read latency (ns)",
+        pairs(&|r| r.mean_latency.as_ns()),
+    ))
+    .with_series(Series::from_pairs(
+        "p99 read latency (ns)",
+        pairs(&|r| r.p99_latency.as_ns()),
+    ))
+    .with_series(Series::from_pairs("retries", pairs(&|r| r.retries as f64)))
+    .with_series(Series::from_pairs(
+        "messages lost to dead links",
+        pairs(&|r| r.dropped as f64),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_cuts_are_distinct_rows_and_survivable() {
+        let cuts = bisection_cuts(64, 6);
+        assert_eq!(cuts.len(), 6);
+        // One cut per row, all crossing the same column boundary.
+        for (row, &(a, b)) in cuts.iter().enumerate() {
+            assert_eq!(a, row * 8 + 3);
+            assert_eq!(b, row * 8 + 4);
+        }
+        assert_survivable(64, &cuts);
+        assert_survivable(16, &bisection_cuts(16, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sever the halves")]
+    fn cutting_every_row_is_rejected() {
+        bisection_cuts(16, 4);
+    }
+
+    #[test]
+    fn campaign_degrades_gracefully_with_zero_hung_transactions() {
+        let healthy = campaign_at(16, 0, 40);
+        let wounded = campaign_at(16, 2, 40);
+        assert_eq!(
+            healthy.completed + healthy.poisoned.len() as u64,
+            16 * 40,
+            "healthy run completes everything"
+        );
+        assert_eq!(
+            wounded.completed + wounded.poisoned.len() as u64,
+            16 * 40,
+            "wounded run: every read completes or is poisoned with a cause"
+        );
+        assert!(healthy.poisoned.is_empty());
+        assert_eq!(healthy.retries, 0);
+        // Half the bisection is gone: bandwidth cannot improve, and the
+        // detours cost latency.
+        assert!(wounded.delivered_gbps <= healthy.delivered_gbps * 1.02);
+        assert!(wounded.p99_latency >= healthy.p99_latency);
+    }
+
+    #[test]
+    fn figure_has_every_series_over_the_sweep() {
+        let fig = resilience(16, 2, 15);
+        assert_eq!(fig.id, "resilience");
+        assert_eq!(fig.series.len(), 6);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 3, "{}", s.label);
+        }
+        let bw = fig.series_like("bisection bandwidth").unwrap();
+        assert!(bw.y_at(0.0).unwrap() > 0.0);
+        assert!(bw.y_at(2.0).unwrap() <= bw.y_at(0.0).unwrap() * 1.02);
+    }
+}

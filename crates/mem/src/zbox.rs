@@ -128,6 +128,10 @@ pub struct Zbox {
     next_free: SimTime,
     meter: UtilizationMeter,
     accesses: u64,
+    /// RDRAM channels failed live ([`fail_channel`](Self::fail_channel));
+    /// the redundant channel absorbs the first, later failures shed
+    /// bandwidth from every subsequent access.
+    failed_channels: u32,
 }
 
 impl Zbox {
@@ -139,12 +143,48 @@ impl Zbox {
             next_free: SimTime::ZERO,
             meter: UtilizationMeter::new(),
             accesses: 0,
+            failed_channels: 0,
         }
     }
 
     /// This controller's configuration.
     pub fn config(&self) -> &ZboxConfig {
         &self.config
+    }
+
+    /// Fail one RDRAM channel in place; subsequent accesses run at
+    /// [`effective_bandwidth_gbps`](Self::effective_bandwidth_gbps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every channel has already failed.
+    pub fn fail_channel(&mut self) {
+        assert!(
+            self.failed_channels < self.config.channels,
+            "all {} channels already failed",
+            self.config.channels
+        );
+        self.failed_channels += 1;
+    }
+
+    /// Repair one failed channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no channel is failed.
+    pub fn restore_channel(&mut self) {
+        assert!(self.failed_channels > 0, "no failed channel to restore");
+        self.failed_channels -= 1;
+    }
+
+    /// Channels currently failed.
+    pub fn failed_channels(&self) -> u32 {
+        self.failed_channels
+    }
+
+    /// Bandwidth the controller can deliver right now, after sparing.
+    pub fn effective_bandwidth_gbps(&self) -> f64 {
+        self.config.degraded_bandwidth_gbps(self.failed_channels)
     }
 
     /// Serve a `bytes`-sized access to `addr` arriving at `now`.
@@ -156,7 +196,7 @@ impl Zbox {
         } else {
             self.config.closed_page_latency
         };
-        let occupancy = SimDuration::transfer_time(bytes, self.config.bandwidth_gbps);
+        let occupancy = SimDuration::transfer_time(bytes, self.effective_bandwidth_gbps());
         let started = now.max(self.next_free);
         self.next_free = started + occupancy;
         self.meter.add_busy(occupancy);
@@ -339,5 +379,38 @@ mod channel_tests {
     #[should_panic(expected = "cannot fail")]
     fn rejects_impossible_failures() {
         let _ = ZboxConfig::ev7().degraded_bandwidth_gbps(9);
+    }
+
+    #[test]
+    fn live_channel_failure_slows_later_accesses_only() {
+        let mut z = Zbox::new(ZboxConfig::ev7());
+        let healthy = z.access(SimTime::ZERO, Addr::new(0), 4096);
+        let healthy_occ = z.next_free().since(healthy.started);
+        // First live failure: spared by the redundant channel, no slowdown.
+        z.fail_channel();
+        assert_eq!(z.failed_channels(), 1);
+        assert_eq!(z.effective_bandwidth_gbps(), z.config().bandwidth_gbps);
+        // Second failure sheds real bandwidth: same access occupies longer.
+        z.fail_channel();
+        let wounded_start = z.next_free();
+        let wounded = z.access(wounded_start, Addr::new(0), 4096);
+        let wounded_occ = z.next_free().since(wounded.started);
+        assert!(
+            wounded_occ > healthy_occ,
+            "degraded transfer must be slower: {healthy_occ} vs {wounded_occ}"
+        );
+        // Repairing both channels restores the peak.
+        z.restore_channel();
+        z.restore_channel();
+        assert_eq!(z.effective_bandwidth_gbps(), z.config().bandwidth_gbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "already failed")]
+    fn cannot_fail_more_channels_than_exist() {
+        let mut z = Zbox::new(ZboxConfig::ev7());
+        for _ in 0..5 {
+            z.fail_channel();
+        }
     }
 }

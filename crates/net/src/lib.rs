@@ -37,6 +37,6 @@ mod msg;
 mod sim;
 mod timing;
 
-pub use msg::{Delivery, MessageClass, MessageId};
-pub use sim::{NetworkSim, Step};
+pub use msg::{Delivery, DroppedMsg, MessageClass, MessageId};
+pub use sim::{FaultError, NetworkSim, Step};
 pub use timing::LinkTiming;

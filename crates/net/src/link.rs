@@ -24,6 +24,10 @@ pub struct Link {
     queues: [std::collections::VecDeque<MessageId>; 5],
     /// Whether the physical channel is mid-transfer.
     busy: bool,
+    /// Whether the physical channel is up (live fault injection downs it).
+    alive: bool,
+    /// The message currently occupying the channel, if any.
+    in_flight: Option<MessageId>,
     meter: UtilizationMeter,
     granted: u64,
     /// Bytes moved per message class, indexed by `MessageClass::priority()`.
@@ -40,6 +44,8 @@ impl Link {
             dir,
             queues: Default::default(),
             busy: false,
+            alive: true,
+            in_flight: None,
             meter: UtilizationMeter::new(),
             granted: 0,
             class_bytes: [0; 5],
@@ -69,11 +75,39 @@ impl Link {
         for q in self.queues.iter_mut().rev() {
             if let Some(id) = q.pop_front() {
                 self.busy = true;
+                self.in_flight = Some(id);
                 self.granted += 1;
                 return Some(id);
             }
         }
         None
+    }
+
+    /// Whether the physical channel is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Mark the channel up or down (live fault injection).
+    pub fn set_alive(&mut self, alive: bool) {
+        self.alive = alive;
+    }
+
+    /// The message currently occupying the channel, if any.
+    pub fn in_flight(&self) -> Option<MessageId> {
+        self.in_flight
+    }
+
+    /// Empty every VC queue, returning the evicted messages highest
+    /// priority first (FIFO within a class) so a failing link's backlog can
+    /// be re-routed deterministically. The in-flight message, if any, is
+    /// not touched.
+    pub fn drain_queued(&mut self) -> Vec<MessageId> {
+        let mut out = Vec::new();
+        for q in self.queues.iter_mut().rev() {
+            out.extend(q.drain(..));
+        }
+        out
     }
 
     /// Account a transfer of `bytes` of `class` occupying the channel for
@@ -88,6 +122,7 @@ impl Link {
     pub fn release(&mut self) {
         debug_assert!(self.busy, "release on an idle link");
         self.busy = false;
+        self.in_flight = None;
     }
 
     /// Fraction of `[0, now]` the channel spent transferring.

@@ -1,11 +1,11 @@
 //! The message-level network simulator.
 
-use alphasim_kernel::{EventQueue, SimDuration, SimTime};
+use alphasim_kernel::{EventQueue, FaultKind, FaultPlan, SimDuration, SimTime};
 use alphasim_topology::route::{RoutePolicy, Routes};
-use alphasim_topology::{NodeId, Topology};
+use alphasim_topology::{Coord, NodeId, Port, Topology};
 
 use crate::link::Link;
-use crate::msg::{Delivery, MessageClass, MessageId};
+use crate::msg::{Delivery, DroppedMsg, MessageClass, MessageId};
 use crate::timing::LinkTiming;
 
 /// What one [`NetworkSim::step`] produced.
@@ -13,9 +13,65 @@ use crate::timing::LinkTiming;
 pub enum Step {
     /// A message reached its destination.
     Delivered(Delivery),
+    /// A message was lost to a link failure (only with
+    /// [`NetworkSim::set_drop_in_flight`] enabled).
+    Dropped(DroppedMsg),
+    /// A scheduled fault from the installed [`FaultPlan`] struck.
+    Fault(FaultKind),
+    /// A timer set with [`NetworkSim::set_timer`] fired.
+    Timer(u64),
     /// An internal event (a hop, a link becoming free) was processed.
     Internal,
 }
+
+/// Why a live fault could not be applied (or survived).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// No such link exists in the underlying topology.
+    NoSuchLink {
+        /// One claimed end of the link.
+        a: NodeId,
+        /// The other claimed end.
+        b: NodeId,
+    },
+    /// The link is already in the requested liveness state.
+    AlreadyInState {
+        /// One end of the link.
+        a: NodeId,
+        /// The other end.
+        b: NodeId,
+        /// The state it is already in.
+        alive: bool,
+    },
+    /// Failing the link would disconnect at least one endpoint pair; the
+    /// failure was rolled back and the fabric left routable.
+    Partitioned {
+        /// An endpoint that would lose reachability.
+        from: NodeId,
+        /// The endpoint it could no longer reach.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::NoSuchLink { a, b } => write!(f, "no link {a}<->{b} in the fabric"),
+            FaultError::AlreadyInState { a, b, alive } => {
+                let state = if *alive { "alive" } else { "dead" };
+                write!(f, "link {a}<->{b} is already {state}")
+            }
+            FaultError::Partitioned { from, to } => {
+                write!(
+                    f,
+                    "failure would partition the fabric: {from} cannot reach {to}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 #[derive(Debug)]
 struct MsgState {
@@ -27,12 +83,47 @@ struct MsgState {
     injected_at: SimTime,
     hops: u32,
     serialized: bool,
+    /// Lost to a link failure; reported as [`Step::Dropped`] when its
+    /// pending arrival fires, then recycled.
+    dropped: bool,
 }
 
 #[derive(Debug)]
 enum Event {
     Arrive { msg: MessageId, node: NodeId },
     LinkFree { link: usize },
+    Fault { kind: FaultKind },
+    Timer { tag: u64 },
+}
+
+/// The live (non-failed) ports of the fabric, materialized so both
+/// [`Routes::compute`] and [`Routes::minimal_ports`] see the same port
+/// indexing after a failure.
+struct LiveView<'a, T: Topology> {
+    inner: &'a T,
+    ports: &'a [Vec<Port>],
+}
+
+impl<T: Topology> Topology for LiveView<'_, T> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn ports(&self, node: NodeId) -> &[Port] {
+        &self.ports[node.index()]
+    }
+
+    fn is_endpoint(&self, node: NodeId) -> bool {
+        self.inner.is_endpoint(node)
+    }
+
+    fn coord(&self, node: NodeId) -> Option<Coord> {
+        self.inner.coord(node)
+    }
 }
 
 /// A discrete-event, message-level simulator of one fabric.
@@ -76,10 +167,22 @@ enum Event {
 pub struct NetworkSim<T: Topology> {
     topo: T,
     routes: Routes,
+    policy: RoutePolicy,
     timing: LinkTiming,
     links: Vec<Link>,
-    /// node index → port index → link id.
+    /// node index → port index → link id (over the *full* topology).
     link_of: Vec<Vec<usize>>,
+    /// node index → live outgoing ports (dead links filtered out). Kept
+    /// materialized so `routes` and `choose_output` agree on port indices.
+    live_ports: Vec<Vec<Port>>,
+    /// node index → live port index → link id, parallel to `live_ports`.
+    live_link_of: Vec<Vec<usize>>,
+    /// Endpoints whose CPU has stopped sourcing traffic (router still
+    /// forwards, as a wounded EV7's does).
+    drained: Vec<bool>,
+    /// Whether a link failure loses the message occupying the wire (the
+    /// coherence layer then sees [`Step::Dropped`] and must retry).
+    drop_in_flight: bool,
     events: EventQueue<Event>,
     msgs: Vec<MsgState>,
     /// Slots in `msgs` whose message has been delivered, ready for reuse.
@@ -89,6 +192,8 @@ pub struct NetworkSim<T: Topology> {
     /// growing with every message ever sent.
     free: Vec<u32>,
     delivered: u64,
+    dropped: u64,
+    rerouted: u64,
 }
 
 impl<T: Topology> NetworkSim<T> {
@@ -102,6 +207,7 @@ impl<T: Topology> NetworkSim<T> {
         let routes = Routes::compute(&topo, policy);
         let mut links = Vec::new();
         let mut link_of = Vec::with_capacity(topo.node_count());
+        let mut live_ports = Vec::with_capacity(topo.node_count());
         for n in 0..topo.node_count() {
             let node = NodeId::new(n);
             let mut ids = Vec::new();
@@ -110,17 +216,27 @@ impl<T: Topology> NetworkSim<T> {
                 links.push(Link::new(node, p.to, p.class, p.dir));
             }
             link_of.push(ids);
+            live_ports.push(topo.ports(node).to_vec());
         }
+        let live_link_of = link_of.clone();
+        let drained = vec![false; topo.node_count()];
         NetworkSim {
             topo,
             routes,
+            policy,
             timing,
             links,
             link_of,
+            live_ports,
+            live_link_of,
+            drained,
+            drop_in_flight: false,
             events: EventQueue::new(),
             msgs: Vec::new(),
             free: Vec::new(),
             delivered: 0,
+            dropped: 0,
+            rerouted: 0,
         }
     }
 
@@ -156,6 +272,169 @@ impl<T: Topology> NetworkSim<T> {
         self.free.len()
     }
 
+    /// Messages lost to link failures so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Queued messages evicted from failing links and re-routed so far.
+    pub fn rerouted_count(&self) -> u64 {
+        self.rerouted
+    }
+
+    /// Directed links currently dead.
+    pub fn dead_link_count(&self) -> usize {
+        self.links.iter().filter(|l| !l.is_alive()).count()
+    }
+
+    /// Whether `node`'s CPU has been drained by a fault.
+    pub fn is_drained(&self, node: NodeId) -> bool {
+        self.drained[node.index()]
+    }
+
+    /// When enabled, a link failure loses the message occupying the wire
+    /// (reported as [`Step::Dropped`]); when disabled (the default), in-flight
+    /// messages land on the far side before the link goes quiet.
+    pub fn set_drop_in_flight(&mut self, drop: bool) {
+        self.drop_in_flight = drop;
+    }
+
+    /// Schedule every fault in `plan` into the event stream. Each strike is
+    /// reported as a [`Step::Fault`] when its time comes; link faults are
+    /// applied to the fabric internally (panicking loudly if the plan
+    /// partitions it), and [`FaultKind::ChannelDown`] is passed through for
+    /// the memory layer to apply.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for e in plan.events() {
+            self.events.schedule(e.at, Event::Fault { kind: e.kind });
+        }
+    }
+
+    /// Schedule a caller timer; [`step`](Self::step) reports it as
+    /// [`Step::Timer`] with the same `tag` when `at` is reached. Coherence
+    /// timeout-and-retry loops ride on these.
+    pub fn set_timer(&mut self, at: SimTime, tag: u64) {
+        self.events.schedule(at, Event::Timer { tag });
+    }
+
+    /// The link id of the directed link `from -> to`, if it exists.
+    fn directed_link_id(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from.index() >= self.topo.node_count() {
+            return None;
+        }
+        self.topo
+            .ports(from)
+            .iter()
+            .position(|p| p.to == to)
+            .map(|pi| self.link_of[from.index()][pi])
+    }
+
+    /// Fail the undirected link `a ↔ b` *now*: both directed channels go
+    /// dead, queued messages are evicted and re-routed from the link's
+    /// sending side, in-flight messages are lost if
+    /// [`set_drop_in_flight`](Self::set_drop_in_flight) is on, and routes
+    /// are recomputed over the surviving fabric. If the failure would
+    /// partition the fabric it is rolled back and
+    /// [`FaultError::Partitioned`] returned.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> Result<(), FaultError> {
+        let (la, lb) = match (self.directed_link_id(a, b), self.directed_link_id(b, a)) {
+            (Some(la), Some(lb)) => (la, lb),
+            _ => return Err(FaultError::NoSuchLink { a, b }),
+        };
+        if !self.links[la].is_alive() {
+            return Err(FaultError::AlreadyInState { a, b, alive: false });
+        }
+        let now = self.now();
+        for id in [la, lb] {
+            self.links[id].set_alive(false);
+            if self.drop_in_flight {
+                if let Some(m) = self.links[id].in_flight() {
+                    self.msgs[m.index()].dropped = true;
+                }
+            }
+            let from = self.links[id].from;
+            for m in self.links[id].drain_queued() {
+                self.rerouted += 1;
+                self.events
+                    .schedule(now, Event::Arrive { msg: m, node: from });
+            }
+        }
+        if let Err(e) = self.rebuild_routes() {
+            // Roll back so the fabric stays routable (including any
+            // in-flight messages condemned above).
+            for id in [la, lb] {
+                self.links[id].set_alive(true);
+                if let Some(m) = self.links[id].in_flight() {
+                    self.msgs[m.index()].dropped = false;
+                }
+            }
+            self.rebuild_routes()
+                .expect("rollback restores connectivity");
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Repair the undirected link `a ↔ b` and recompute routes over the
+    /// healed fabric.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) -> Result<(), FaultError> {
+        let (la, lb) = match (self.directed_link_id(a, b), self.directed_link_id(b, a)) {
+            (Some(la), Some(lb)) => (la, lb),
+            _ => return Err(FaultError::NoSuchLink { a, b }),
+        };
+        if self.links[la].is_alive() {
+            return Err(FaultError::AlreadyInState { a, b, alive: true });
+        }
+        self.links[la].set_alive(true);
+        self.links[lb].set_alive(true);
+        self.rebuild_routes()
+            .expect("restoring a link cannot partition the fabric");
+        Ok(())
+    }
+
+    /// Stop `node`'s CPU from sourcing new traffic; its router keeps
+    /// forwarding (the wounded-EV7 behaviour). [`send`](Self::send) from a
+    /// drained node panics, so closed-loop drivers must consult
+    /// [`is_drained`](Self::is_drained).
+    pub fn drain_node(&mut self, node: NodeId) {
+        self.drained[node.index()] = true;
+    }
+
+    /// Refresh `live_ports`/`live_link_of` from link liveness and recompute
+    /// routes; errs (without touching `routes`) if any endpoint pair lost
+    /// reachability.
+    fn rebuild_routes(&mut self) -> Result<(), FaultError> {
+        for n in 0..self.topo.node_count() {
+            let node = NodeId::new(n);
+            let lp = &mut self.live_ports[n];
+            let ll = &mut self.live_link_of[n];
+            lp.clear();
+            ll.clear();
+            for (pi, p) in self.topo.ports(node).iter().enumerate() {
+                let id = self.link_of[n][pi];
+                if self.links[id].is_alive() {
+                    lp.push(*p);
+                    ll.push(id);
+                }
+            }
+        }
+        let view = LiveView {
+            inner: &self.topo,
+            ports: &self.live_ports,
+        };
+        let routes = Routes::compute(&view, self.policy);
+        let eps = self.topo.endpoints();
+        for &from in &eps {
+            for &to in &eps {
+                if from != to && routes.distance(from, 0, to) == Routes::UNREACHABLE {
+                    return Err(FaultError::Partitioned { from, to });
+                }
+            }
+        }
+        self.routes = routes;
+        Ok(())
+    }
+
     /// Inject a message at time `at` (which must not be in the past).
     ///
     /// # Panics
@@ -173,6 +452,10 @@ impl<T: Topology> NetworkSim<T> {
     ) -> MessageId {
         assert!(src.index() < self.topo.node_count(), "bad source");
         assert!(dst.index() < self.topo.node_count(), "bad destination");
+        assert!(
+            !self.drained[src.index()],
+            "send from drained node {src}; check is_drained() first"
+        );
         let state = MsgState {
             src,
             dst,
@@ -182,6 +465,7 @@ impl<T: Topology> NetworkSim<T> {
             injected_at: at,
             hops: 0,
             serialized: false,
+            dropped: false,
         };
         let id = if let Some(slot) = self.free.pop() {
             self.msgs[slot as usize] = state;
@@ -201,6 +485,23 @@ impl<T: Topology> NetworkSim<T> {
         let (now, event) = self.events.pop()?;
         match event {
             Event::Arrive { msg, node } => {
+                if self.msgs[msg.index()].dropped {
+                    self.dropped += 1;
+                    let m = &self.msgs[msg.index()];
+                    let report = DroppedMsg {
+                        id: msg,
+                        src: m.src,
+                        dst: m.dst,
+                        class: m.class,
+                        bytes: m.bytes,
+                        tag: m.tag,
+                        injected_at: m.injected_at,
+                        dropped_at: now,
+                        hops: m.hops,
+                    };
+                    self.free.push(msg.0);
+                    return Some(Step::Dropped(report));
+                }
                 if node == self.msgs[msg.index()].dst {
                     self.delivered += 1;
                     let m = &self.msgs[msg.index()];
@@ -228,11 +529,33 @@ impl<T: Topology> NetworkSim<T> {
             }
             Event::LinkFree { link } => {
                 self.links[link].release();
-                if self.links[link].backlog() > 0 {
+                if self.links[link].is_alive() && self.links[link].backlog() > 0 {
                     self.start_transfer(link, now);
                 }
                 Some(Step::Internal)
             }
+            Event::Fault { kind } => {
+                match kind {
+                    FaultKind::LinkDown { a, b } => {
+                        let (a, b) = (NodeId::new(a), NodeId::new(b));
+                        if let Err(e) = self.fail_link(a, b) {
+                            panic!("fault plan could not be applied: {e}");
+                        }
+                    }
+                    FaultKind::LinkUp { a, b } => {
+                        let (a, b) = (NodeId::new(a), NodeId::new(b));
+                        if let Err(e) = self.restore_link(a, b) {
+                            panic!("fault plan could not be applied: {e}");
+                        }
+                    }
+                    FaultKind::NodeDrain { node } => self.drain_node(NodeId::new(node)),
+                    // Memory-channel faults belong to the Zbox layer; pass
+                    // the strike through for the system driver to apply.
+                    FaultKind::ChannelDown { .. } => {}
+                }
+                Some(Step::Fault(kind))
+            }
+            Event::Timer { tag } => Some(Step::Timer(tag)),
         }
     }
 
@@ -253,23 +576,28 @@ impl<T: Topology> NetworkSim<T> {
     }
 
     /// Pick the output link for `msg` at `node`: minimal adaptive for
-    /// coherence classes, deterministic (first minimal port) for I/O.
+    /// coherence classes, deterministic (first minimal port) for I/O. Routes
+    /// and port indices are over the live (non-failed) fabric.
     fn choose_output(&self, msg: MessageId, node: NodeId) -> usize {
         let m = &self.msgs[msg.index()];
-        let candidates = self.routes.minimal_ports(&self.topo, node, m.hops, m.dst);
+        let view = LiveView {
+            inner: &self.topo,
+            ports: &self.live_ports,
+        };
+        let candidates = self.routes.minimal_ports(&view, node, m.hops, m.dst);
         debug_assert!(!candidates.is_empty(), "routing dead end");
         let chosen = if m.class.may_route_adaptively() {
             *candidates
                 .iter()
                 .min_by_key(|&&pi| {
-                    let link = &self.links[self.link_of[node.index()][pi]];
+                    let link = &self.links[self.live_link_of[node.index()][pi]];
                     (link.backlog() + usize::from(link.is_busy()), pi)
                 })
                 .expect("non-empty candidates")
         } else {
             candidates[0]
         };
-        self.link_of[node.index()][chosen]
+        self.live_link_of[node.index()][chosen]
     }
 
     /// Grant the head-of-queue packet on `link_id` and schedule its arrival
@@ -338,8 +666,10 @@ impl<T: Topology> NetworkSim<T> {
             .map(move |l| (l.from, l.to, l.dir, l.utilization(now), l.bytes()))
     }
 
-    /// Mean utilization of links whose direction satisfies `pred`
-    /// (e.g. horizontal for the GUPS East/West analysis, Fig. 24).
+    /// Mean utilization of *live* links whose direction satisfies `pred`
+    /// (e.g. horizontal for the GUPS East/West analysis, Fig. 24). Dead
+    /// links are excluded so a wounded fabric is not averaged down by wires
+    /// that cannot carry traffic.
     pub fn mean_utilization_where(
         &self,
         pred: impl Fn(Option<alphasim_topology::Direction>) -> bool,
@@ -348,13 +678,23 @@ impl<T: Topology> NetworkSim<T> {
         let (sum, n) = self
             .links
             .iter()
-            .filter(|l| pred(l.dir))
+            .filter(|l| l.is_alive() && pred(l.dir))
             .fold((0.0, 0usize), |(s, n), l| (s + l.utilization(now), n + 1));
         if n == 0 {
             0.0
         } else {
             sum / n as f64
         }
+    }
+
+    /// The directed links currently dead, as `(from, to)` pairs in link-id
+    /// order — consumers reporting per-link bandwidth should skip these.
+    pub fn dead_links(&self) -> Vec<(NodeId, NodeId)> {
+        self.links
+            .iter()
+            .filter(|l| !l.is_alive())
+            .map(|l| (l.from, l.to))
+            .collect()
     }
 
     /// Total bytes delivered onto links of the whole fabric.
@@ -374,10 +714,10 @@ impl<T: Topology> NetworkSim<T> {
         MessageClass::ALL.map(|c| (c, self.links.iter().map(|l| l.class_bytes(c)).sum()))
     }
 
-    /// Mean cumulative busy time of one node's outgoing links, for interval
-    /// sampling of its IP-link gauge.
+    /// Mean cumulative busy time of one node's *live* outgoing links, for
+    /// interval sampling of its IP-link gauge.
     pub fn node_ip_busy(&self, node: NodeId) -> SimDuration {
-        let ids = &self.link_of[node.index()];
+        let ids = &self.live_link_of[node.index()];
         if ids.is_empty() {
             return SimDuration::ZERO;
         }
@@ -385,7 +725,7 @@ impl<T: Topology> NetworkSim<T> {
         total / ids.len() as u64
     }
 
-    /// Mean cumulative busy time over links whose direction satisfies
+    /// Mean cumulative busy time over *live* links whose direction satisfies
     /// `pred`, for interval sampling (e.g. East/West vs North/South).
     pub fn mean_busy_where(
         &self,
@@ -394,7 +734,7 @@ impl<T: Topology> NetworkSim<T> {
         let (sum, n) = self
             .links
             .iter()
-            .filter(|l| pred(l.dir))
+            .filter(|l| l.is_alive() && pred(l.dir))
             .fold((SimDuration::ZERO, 0u64), |(s, n), l| {
                 (s + l.busy_time(), n + 1)
             });
@@ -405,11 +745,11 @@ impl<T: Topology> NetworkSim<T> {
         }
     }
 
-    /// Outgoing-link utilizations of one node, averaged (Xmesh's per-node
-    /// IP-link gauge).
+    /// *Live* outgoing-link utilizations of one node, averaged (Xmesh's
+    /// per-node IP-link gauge; a node with every link dead reads 0).
     pub fn node_ip_utilization(&self, node: NodeId) -> f64 {
         let now = self.now();
-        let ids = &self.link_of[node.index()];
+        let ids = &self.live_link_of[node.index()];
         if ids.is_empty() {
             return 0.0;
         }
@@ -724,6 +1064,239 @@ mod tests {
         assert_eq!(second[0].src, NodeId::new(2));
         assert_eq!(second[0].dst, NodeId::new(7));
         assert_eq!(second[0].bytes, 32);
+    }
+
+    #[test]
+    fn failed_link_reroutes_queued_traffic_without_loss() {
+        let mut net = sim4x4();
+        // Flood the 0->1 link, then cut it while the backlog is deep. With
+        // drop-in-flight off, every message must still be delivered, just
+        // over detours.
+        for i in 0..30 {
+            net.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageClass::Io, // deterministic single path: all queue on 0->1
+                64,
+                i,
+            );
+        }
+        let mut delivered = 0;
+        let mut steps = 0;
+        while let Some(step) = net.step() {
+            steps += 1;
+            if steps == 5 {
+                net.fail_link(NodeId::new(0), NodeId::new(1)).unwrap();
+                assert_eq!(net.dead_link_count(), 2, "both directions die");
+            }
+            if let Step::Delivered(_) = step {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 30, "no message may be lost to rerouting");
+        assert_eq!(net.dropped_count(), 0);
+        assert!(net.rerouted_count() > 0, "backlog must have been evicted");
+        // Delivered over detours: some messages took more than one hop.
+        assert!(net.delivered_count() == 30);
+    }
+
+    #[test]
+    fn drop_in_flight_reports_the_wire_occupant() {
+        let mut net = sim4x4();
+        net.set_drop_in_flight(true);
+        for i in 0..5 {
+            net.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageClass::Io,
+                64,
+                i,
+            );
+        }
+        let mut drops = Vec::new();
+        let mut delivered = 0;
+        let mut cut = false;
+        while let Some(step) = net.step() {
+            if !cut && net.now() > SimTime::ZERO {
+                cut = true;
+                net.fail_link(NodeId::new(0), NodeId::new(1)).unwrap();
+            }
+            match step {
+                Step::Dropped(d) => drops.push(d),
+                Step::Delivered(_) => delivered += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(drops.len(), 1, "exactly the wire occupant is lost");
+        assert_eq!(net.dropped_count(), 1);
+        assert_eq!(delivered, 4, "the evicted backlog reroutes and arrives");
+        assert_eq!(drops[0].dst, NodeId::new(1));
+        // The freed slot is reusable.
+        assert_eq!(net.free_slot_count(), net.msg_slot_count());
+    }
+
+    #[test]
+    fn partitioning_failure_is_rolled_back() {
+        let mut net = sim4x4();
+        net.fail_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        net.fail_link(NodeId::new(0), NodeId::new(3)).unwrap();
+        net.fail_link(NodeId::new(0), NodeId::new(4)).unwrap();
+        // Node 0's last link: cutting it would strand it.
+        let err = net.fail_link(NodeId::new(0), NodeId::new(12)).unwrap_err();
+        assert!(matches!(err, FaultError::Partitioned { .. }));
+        assert_eq!(net.dead_link_count(), 6, "rollback revives the last link");
+        // The fabric must still route: node 0 only via node 12.
+        net.send(
+            net.now(),
+            NodeId::new(0),
+            NodeId::new(5),
+            MessageClass::Request,
+            16,
+            7,
+        );
+        let d = net.drain_deliveries();
+        assert_eq!(d.len(), 1);
+        assert!(d[0].hops >= 3, "must detour through node 12");
+    }
+
+    #[test]
+    fn fail_and_restore_roundtrip() {
+        let mut net = sim4x4();
+        assert_eq!(
+            net.fail_link(NodeId::new(0), NodeId::new(10)),
+            Err(FaultError::NoSuchLink {
+                a: NodeId::new(0),
+                b: NodeId::new(10)
+            })
+        );
+        net.fail_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(
+            net.fail_link(NodeId::new(0), NodeId::new(1)),
+            Err(FaultError::AlreadyInState {
+                a: NodeId::new(0),
+                b: NodeId::new(1),
+                alive: false
+            })
+        );
+        net.restore_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(net.dead_link_count(), 0);
+        assert_eq!(
+            net.restore_link(NodeId::new(0), NodeId::new(1)),
+            Err(FaultError::AlreadyInState {
+                a: NodeId::new(0),
+                b: NodeId::new(1),
+                alive: true
+            })
+        );
+        // Healed fabric routes minimally again.
+        net.send(
+            net.now(),
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            16,
+            0,
+        );
+        let d = net.drain_deliveries();
+        assert_eq!(d[0].hops, 1);
+    }
+
+    #[test]
+    fn fault_plan_strikes_mid_run() {
+        use alphasim_kernel::{FaultKind, FaultPlan};
+        let mut net = sim4x4();
+        let mut plan = FaultPlan::new();
+        plan.push(
+            SimTime::ZERO + SimDuration::from_ns(50.0),
+            FaultKind::LinkDown { a: 0, b: 1 },
+        );
+        plan.push(
+            SimTime::ZERO + SimDuration::from_ns(400.0),
+            FaultKind::NodeDrain { node: 2 },
+        );
+        net.install_fault_plan(&plan);
+        net.set_timer(SimTime::ZERO + SimDuration::from_ns(600.0), 99);
+        for i in 0..10u64 {
+            net.send(
+                SimTime::from_ps(i * 10_000),
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageClass::Request,
+                64,
+                i,
+            );
+        }
+        let mut faults = Vec::new();
+        let mut timers = Vec::new();
+        let mut delivered = 0;
+        while let Some(step) = net.step() {
+            match step {
+                Step::Fault(k) => faults.push(k),
+                Step::Timer(t) => timers.push(t),
+                Step::Delivered(_) => delivered += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            faults,
+            vec![
+                FaultKind::LinkDown { a: 0, b: 1 },
+                FaultKind::NodeDrain { node: 2 }
+            ]
+        );
+        assert_eq!(timers, vec![99]);
+        assert_eq!(delivered, 10);
+        assert!(net.is_drained(NodeId::new(2)));
+        assert!(!net.is_drained(NodeId::new(0)));
+        assert_eq!(
+            net.dead_links(),
+            vec![
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(1), NodeId::new(0)),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drained node")]
+    fn sends_from_drained_nodes_are_rejected() {
+        let mut net = sim4x4();
+        net.drain_node(NodeId::new(3));
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(3),
+            NodeId::new(0),
+            MessageClass::Request,
+            16,
+            0,
+        );
+    }
+
+    #[test]
+    fn dead_links_are_excluded_from_gauges() {
+        let mut net = sim4x4();
+        for i in 0..50 {
+            net.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageClass::Request,
+                64,
+                i,
+            );
+        }
+        net.drain();
+        let before = net.node_ip_utilization(NodeId::new(0));
+        net.fail_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        let after = net.node_ip_utilization(NodeId::new(0));
+        assert!(
+            after < before,
+            "dead busy link must leave the gauge: {before} -> {after}"
+        );
+        let horiz = net.mean_utilization_where(|d| d.is_some_and(|d| d.is_horizontal()));
+        assert!(horiz < before);
     }
 
     #[test]

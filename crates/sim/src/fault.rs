@@ -1,0 +1,228 @@
+//! Deterministic fault schedules for live fault injection.
+//!
+//! The GS1280's robustness story — the torus routes around wounded cables,
+//! the RDRAM subsystem spares a failed channel — only shows up when things
+//! fail *while the machine is running*. A [`FaultPlan`] is a seeded,
+//! reproducible schedule of such failures: link-down/link-up, node drains
+//! and RDRAM channel losses, each stamped with the simulation time at which
+//! it strikes. Consumers (the network simulator, the system-level fault
+//! campaign) feed the plan into their event queues, so two runs with the
+//! same plan are bit-identical.
+//!
+//! Node and link identifiers are plain `usize` indices here — the kernel
+//! crate sits below the topology crate, so it cannot name `NodeId`; the
+//! network layer converts at the boundary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The undirected link between nodes `a` and `b` fails (both directions).
+    LinkDown {
+        /// One end of the link.
+        a: usize,
+        /// The other end.
+        b: usize,
+    },
+    /// A previously failed link is repaired.
+    LinkUp {
+        /// One end of the link.
+        a: usize,
+        /// The other end.
+        b: usize,
+    },
+    /// `node`'s CPU stops sourcing new traffic (its router keeps forwarding,
+    /// as a wounded EV7's does).
+    NodeDrain {
+        /// The drained node.
+        node: usize,
+    },
+    /// One RDRAM channel of `node`'s memory controller fails (the redundant
+    /// 5th channel absorbs the first such failure, paper §2).
+    ChannelDown {
+        /// The node whose Zbox loses a channel.
+        node: usize,
+    },
+}
+
+impl FaultKind {
+    /// Short human-readable description, used by watchdog reports and logs.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultKind::LinkDown { a, b } => format!("link {a}<->{b} down"),
+            FaultKind::LinkUp { a, b } => format!("link {a}<->{b} repaired"),
+            FaultKind::NodeDrain { node } => format!("node {node} drained"),
+            FaultKind::ChannelDown { node } => format!("RDRAM channel lost at node {node}"),
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: SimTime,
+    /// What fails (or recovers).
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, kept sorted by strike time (stable
+/// for simultaneous events, so injection order is reproducible).
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_kernel::fault::{FaultKind, FaultPlan};
+/// use alphasim_kernel::{SimDuration, SimTime};
+///
+/// let mut plan = FaultPlan::new();
+/// plan.push(
+///     SimTime::ZERO + SimDuration::from_ns(500.0),
+///     FaultKind::LinkDown { a: 0, b: 1 },
+/// );
+/// plan.push(
+///     SimTime::ZERO + SimDuration::from_ns(2_000.0),
+///     FaultKind::LinkUp { a: 0, b: 1 },
+/// );
+/// assert_eq!(plan.events().len(), 2);
+/// assert!(plan.events()[0].at < plan.events()[1].at);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (nothing ever fails).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule `kind` to strike at `at`, keeping the plan time-sorted.
+    /// Faults pushed at the same timestamp keep their push order.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) -> &mut Self {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, kind });
+        self
+    }
+
+    /// The scheduled faults in strike order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A seeded plan failing `count` distinct links drawn from `candidates`,
+    /// with strike times spread evenly across `window` (first fault at the
+    /// window start plus one spacing). The draw is a deterministic partial
+    /// Fisher–Yates over the candidate list, so the same seed always wounds
+    /// the same links at the same times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > candidates.len()`.
+    pub fn random_link_failures(
+        seed: u64,
+        candidates: &[(usize, usize)],
+        count: usize,
+        window: (SimTime, SimTime),
+    ) -> Self {
+        assert!(
+            count <= candidates.len(),
+            "cannot fail {count} of {} candidate links",
+            candidates.len()
+        );
+        let mut pool = candidates.to_vec();
+        let mut rng = DetRng::seeded(seed);
+        let mut plan = FaultPlan::new();
+        let span = window.1.since(window.0);
+        let spacing = span / (count as u64 + 1).max(1);
+        for i in 0..count {
+            let pick = i + rng.index(pool.len() - i);
+            pool.swap(i, pick);
+            let (a, b) = pool[i];
+            let at = window.0 + spacing.saturating_mul(i as u64 + 1);
+            plan.push(at, FaultKind::LinkDown { a, b });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    fn t(ns: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_ns(ns)
+    }
+
+    #[test]
+    fn push_keeps_time_order_and_fifo_ties() {
+        let mut plan = FaultPlan::new();
+        plan.push(t(30.0), FaultKind::NodeDrain { node: 2 });
+        plan.push(t(10.0), FaultKind::LinkDown { a: 0, b: 1 });
+        plan.push(t(30.0), FaultKind::LinkUp { a: 0, b: 1 });
+        let kinds: Vec<FaultKind> = plan.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FaultKind::LinkDown { a: 0, b: 1 },
+                FaultKind::NodeDrain { node: 2 },
+                FaultKind::LinkUp { a: 0, b: 1 },
+            ]
+        );
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn random_failures_are_deterministic_and_distinct() {
+        let candidates: Vec<(usize, usize)> = (0..16).map(|i| (i, (i + 1) % 16)).collect();
+        let window = (t(0.0), t(1_000.0));
+        let a = FaultPlan::random_link_failures(7, &candidates, 5, window);
+        let b = FaultPlan::random_link_failures(7, &candidates, 5, window);
+        assert_eq!(a, b, "same seed, same plan");
+        let mut links: Vec<(usize, usize)> = a
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::LinkDown { a, b } => (a, b),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        assert_eq!(links.len(), 5, "links must be distinct");
+        for w in a.events().windows(2) {
+            assert!(w[0].at < w[1].at, "strike times must be spread out");
+        }
+        let c = FaultPlan::random_link_failures(8, &candidates, 5, window);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn describe_names_every_kind() {
+        for kind in [
+            FaultKind::LinkDown { a: 1, b: 2 },
+            FaultKind::LinkUp { a: 1, b: 2 },
+            FaultKind::NodeDrain { node: 3 },
+            FaultKind::ChannelDown { node: 4 },
+        ] {
+            assert!(!kind.describe().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail")]
+    fn rejects_overdrawn_plans() {
+        let _ = FaultPlan::random_link_failures(0, &[(0, 1)], 2, (t(0.0), t(10.0)));
+    }
+}

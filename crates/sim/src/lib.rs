@@ -11,7 +11,9 @@
 //! * [`stats`] — counters, running statistics, histograms, utilization meters
 //!   and time-series samplers used by the performance-counter ("Xmesh") layer;
 //! * [`par`] — an ordered [`par::parallel_map`] used to fan independent
-//!   simulations out across OS threads without changing their results.
+//!   simulations out across OS threads without changing their results;
+//! * [`FaultPlan`] — a seeded, time-sorted schedule of link/node/channel
+//!   failures for live fault-injection runs.
 //!
 //! # Examples
 //!
@@ -30,11 +32,13 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod fault;
 pub mod par;
 mod rng;
 pub mod stats;
 mod time;
 
 pub use event::{peak_event_depth, take_peak_event_depth, EventQueue};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use rng::DetRng;
 pub use time::{Frequency, SimDuration, SimTime};

@@ -1,0 +1,631 @@
+//! Closed-loop load testing under live fault injection.
+//!
+//! [`FaultCampaign`] drives the same windowed read loop as
+//! [`loadtest`](crate::loadtest) while a [`FaultPlan`] wounds the machine
+//! mid-run: links die (losing the packets on their wires), CPUs drain,
+//! RDRAM channels fail. The coherence layer's timeout-and-retry machinery
+//! ([`RetryPolicy`], [`PendingSet`], [`Watchdog`]) guarantees the
+//! robustness contract: **every transaction either completes (possibly
+//! after bounded-backoff retries) or is poisoned with a named cause** —
+//! nothing hangs silently, and a kernel-level watchdog reports the stuck
+//! set if delivery progress ever stops for a whole window.
+
+use alphasim_cache::Addr;
+use alphasim_coherence::{LivelockReport, PendingSet, PendingTx, RetryPolicy, Watchdog};
+use alphasim_kernel::{DetRng, FaultKind, FaultPlan, SimDuration, SimTime};
+use alphasim_mem::{Zbox, ZboxConfig};
+use alphasim_net::{MessageClass, NetworkSim, Step};
+use alphasim_topology::{NodeId, Topology};
+
+/// Reserved timer tag for the watchdog tick (request tags are
+/// `cpu << 32 | seq` and can never collide with it).
+const WATCHDOG_TAG: u64 = u64::MAX;
+
+/// How campaign CPUs pick the home of each read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignPattern {
+    /// Each request goes to a uniformly random *other* CPU.
+    UniformRemote,
+    /// Every CPU reads from its mirror across the vertical bisection of the
+    /// torus, so all traffic crosses the bisection — the pattern behind the
+    /// resilience sweep's achieved-bisection-bandwidth curve.
+    Bisection,
+}
+
+/// Parameters of one fault campaign.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignConfig {
+    /// Outstanding reads per CPU.
+    pub outstanding: usize,
+    /// Reads each CPU completes before the run ends.
+    pub requests_per_cpu: usize,
+    /// Traffic pattern.
+    pub pattern: CampaignPattern,
+    /// RNG seed.
+    pub seed: u64,
+    /// The fault schedule (empty plan = healthy baseline run).
+    pub plan: FaultPlan,
+    /// Timeout / backoff / poison policy for lost transactions.
+    pub retry: RetryPolicy,
+    /// Watchdog no-progress window (should exceed the retry timeout, or
+    /// ordinary timeouts read as livelock).
+    pub watchdog_window: SimDuration,
+}
+
+impl Default for FaultCampaignConfig {
+    fn default() -> Self {
+        FaultCampaignConfig {
+            outstanding: 4,
+            requests_per_cpu: 100,
+            pattern: CampaignPattern::UniformRemote,
+            seed: 0xFA117,
+            plan: FaultPlan::new(),
+            retry: RetryPolicy::gs1280_default(),
+            watchdog_window: SimDuration::from_us(200.0),
+        }
+    }
+}
+
+/// A transaction abandoned after exhausting its retries (the NAK path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonedTx {
+    /// Correlation tag.
+    pub tag: u64,
+    /// Requesting CPU.
+    pub cpu: usize,
+    /// Home node of the read.
+    pub home: usize,
+    /// Issue attempts spent.
+    pub attempts: u32,
+    /// Why it was abandoned.
+    pub cause: String,
+}
+
+/// The outcome of one fault campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Reads completed (every issued read completes or is poisoned).
+    pub completed: u64,
+    /// Retries issued by the timeout/drop machinery.
+    pub retries: u64,
+    /// Messages lost with failed wires.
+    pub dropped: u64,
+    /// Queued messages evicted from failing links and re-routed.
+    pub rerouted: u64,
+    /// Transactions abandoned with a named cause.
+    pub poisoned: Vec<PoisonedTx>,
+    /// Livelock reports (normally empty: retries keep making progress).
+    pub watchdog_reports: Vec<LivelockReport>,
+    /// Faults that actually struck, in strike order.
+    pub faults_applied: Vec<FaultKind>,
+    /// Mean end-to-end read latency (first issue to data return, across
+    /// every retry).
+    pub mean_latency: SimDuration,
+    /// 99th-percentile read latency.
+    pub p99_latency: SimDuration,
+    /// Aggregate delivered read bandwidth, GB/s (64 B per completed read),
+    /// measured to the last delivery (stale retry timers do not inflate
+    /// the denominator). Includes the recovery tail: after the unwounded
+    /// CPUs finish their quota, the machine idles while the wounded rows
+    /// grind out their remainder, so this understates the sustained rate.
+    pub delivered_gbps: f64,
+    /// Steady-state delivered bandwidth, GB/s: bytes completed by the
+    /// 90th-percentile completion, over that interval. Trimming the
+    /// straggler tail measures the rate the wounded machine actually
+    /// sustains while all CPUs are active.
+    pub steady_gbps: f64,
+    /// Time of the last delivery.
+    pub elapsed: SimDuration,
+}
+
+/// Mutable per-run state, grouped so the injection and retry paths can
+/// share it.
+struct RunState {
+    rngs: Vec<DetRng>,
+    issued: Vec<u64>,
+    pending: PendingSet,
+    dog_armed: bool,
+    poisoned: Vec<PoisonedTx>,
+}
+
+/// A machine prepared for fault-injection load testing: a network with
+/// drop-on-failure semantics plus one memory controller per CPU node.
+pub struct FaultCampaign<T: Topology> {
+    net: NetworkSim<T>,
+    cpus: Vec<NodeId>,
+    /// One controller per CPU node, indexed by node id (deterministic).
+    zboxes: Vec<Zbox>,
+    front_overhead: SimDuration,
+    directory_overhead: SimDuration,
+}
+
+impl<T: Topology> FaultCampaign<T> {
+    /// Assemble a campaign over `net`; each CPU's memory lives on its own
+    /// node (the GS1280 arrangement).
+    pub fn new(
+        mut net: NetworkSim<T>,
+        zbox: ZboxConfig,
+        front_overhead: SimDuration,
+        directory_overhead: SimDuration,
+    ) -> Self {
+        net.set_drop_in_flight(true);
+        let cpus = net.topology().endpoints();
+        assert!(!cpus.is_empty(), "no CPU endpoints");
+        let nodes = net.topology().node_count();
+        let zboxes = (0..nodes).map(|_| Zbox::new(zbox)).collect();
+        FaultCampaign {
+            net,
+            cpus,
+            zboxes,
+            front_overhead,
+            directory_overhead,
+        }
+    }
+
+    /// The bisection mirror of `cpu`: same row, column reflected across the
+    /// vertical cut.
+    fn bisection_partner(&self, cpu: usize) -> usize {
+        let coord = |i: usize| {
+            self.net
+                .topology()
+                .coord(self.cpus[i])
+                .expect("bisection pattern needs planar coordinates")
+        };
+        let cols = (0..self.cpus.len())
+            .map(|i| coord(i).x as usize)
+            .max()
+            .unwrap()
+            + 1;
+        let c = coord(cpu);
+        let mx = cols - 1 - c.x as usize;
+        (0..self.cpus.len())
+            .find(|&i| {
+                let o = coord(i);
+                o.x as usize == mx && o.y == c.y
+            })
+            .expect("mirror CPU exists")
+    }
+
+    fn pick_target(&self, cfg: &FaultCampaignConfig, cpu: usize, rng: &mut DetRng) -> usize {
+        match cfg.pattern {
+            CampaignPattern::UniformRemote => {
+                if self.cpus.len() == 1 {
+                    0
+                } else {
+                    rng.index_excluding(self.cpus.len(), cpu)
+                }
+            }
+            CampaignPattern::Bisection => self.bisection_partner(cpu),
+        }
+    }
+
+    /// Run the campaign to completion. Panics (loudly, by design) if the
+    /// fault plan would partition the fabric.
+    pub fn run(mut self, cfg: &FaultCampaignConfig) -> CampaignResult {
+        assert!(cfg.outstanding >= 1, "need at least one outstanding read");
+        assert!(
+            cfg.watchdog_window > cfg.retry.timeout,
+            "watchdog window must exceed the retry timeout"
+        );
+        self.net.install_fault_plan(&cfg.plan);
+        let ncpus = self.cpus.len();
+        let mut st = RunState {
+            rngs: (0..ncpus)
+                .map(|i| DetRng::seeded(cfg.seed).split(i as u64))
+                .collect(),
+            issued: vec![0u64; ncpus],
+            pending: PendingSet::new(),
+            dog_armed: false,
+            poisoned: Vec::new(),
+        };
+        let mut dog = Watchdog::new(cfg.watchdog_window);
+        let mut latencies: Vec<SimDuration> = Vec::new();
+        let mut completion_times: Vec<SimTime> = Vec::new();
+        let mut reports: Vec<LivelockReport> = Vec::new();
+        let mut faults_applied: Vec<FaultKind> = Vec::new();
+        let mut last_delivery = SimTime::ZERO;
+
+        for cpu in 0..ncpus {
+            for _ in 0..cfg.outstanding.min(cfg.requests_per_cpu) {
+                self.inject(cfg, cpu, SimTime::ZERO, &mut st);
+            }
+        }
+
+        while let Some(step) = self.net.step() {
+            let now = self.net.now();
+            match step {
+                Step::Delivered(d) => {
+                    dog.note_progress(now);
+                    last_delivery = last_delivery.max(now);
+                    match d.class {
+                        MessageClass::Request => {
+                            if self.net.is_drained(d.dst) {
+                                // The home's whole node drained: its memory
+                                // is unreachable, so the request dies here
+                                // and the requester's timeout poisons it.
+                                continue;
+                            }
+                            // Serve even if no longer pending (a poisoned or
+                            // retried duplicate); the dup response is
+                            // discarded at the requester.
+                            let addr = Addr::new(
+                                (d.tag.wrapping_mul(0x9E3779B97F4A7C15) >> 16) & 0x3FFF_FFC0,
+                            );
+                            let acc = self.zboxes[d.dst.index()].access(
+                                now + self.directory_overhead,
+                                addr,
+                                64,
+                            );
+                            let requester = self.cpus[(d.tag >> 32) as usize];
+                            self.net.send(
+                                acc.completed,
+                                d.dst,
+                                requester,
+                                MessageClass::BlockResponse,
+                                80,
+                                d.tag,
+                            );
+                        }
+                        MessageClass::BlockResponse => {
+                            let Some(tx) = st.pending.complete(d.tag) else {
+                                continue; // duplicate response from a retry
+                            };
+                            latencies.push(now.since(tx.first_issued) + self.front_overhead);
+                            completion_times.push(now);
+                            let cpu = (d.tag >> 32) as usize;
+                            self.inject_next(cfg, cpu, now, &mut st);
+                        }
+                        other => panic!("unexpected class {other:?}"),
+                    }
+                }
+                Step::Dropped(d) => {
+                    // The wire took the packet with it; retry immediately
+                    // rather than waiting out the timeout.
+                    self.retry_or_poison(cfg, d.tag, &mut st);
+                }
+                Step::Timer(WATCHDOG_TAG) => {
+                    st.dog_armed = false;
+                    if !st.pending.is_empty() {
+                        if let Some(report) = dog.check(now, &st.pending) {
+                            reports.push(report);
+                        }
+                        self.net.set_timer(now + cfg.watchdog_window, WATCHDOG_TAG);
+                        st.dog_armed = true;
+                    }
+                }
+                Step::Timer(tag) => {
+                    let overdue = st.pending.get(tag).is_some_and(|tx| tx.deadline <= now);
+                    if overdue {
+                        self.retry_or_poison(cfg, tag, &mut st);
+                    }
+                }
+                Step::Fault(kind) => {
+                    if let FaultKind::ChannelDown { node } = kind {
+                        self.zboxes[node].fail_channel();
+                    }
+                    faults_applied.push(kind);
+                }
+                Step::Internal => {}
+            }
+        }
+
+        assert!(
+            st.pending.is_empty(),
+            "hung transactions survived the drain: {:?}",
+            st.pending.iter().map(|(tag, _)| tag).collect::<Vec<_>>()
+        );
+
+        let completed = st.pending.completed();
+        latencies.sort_unstable();
+        let mean_latency = if latencies.is_empty() {
+            SimDuration::ZERO
+        } else {
+            latencies.iter().copied().sum::<SimDuration>() / latencies.len() as u64
+        };
+        let p99_latency = latencies
+            .get((latencies.len().saturating_sub(1)) * 99 / 100)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        let elapsed = last_delivery.since(SimTime::ZERO);
+        let delivered_gbps = if elapsed > SimDuration::ZERO {
+            completed as f64 * 64.0 / elapsed.as_secs() / 1e9
+        } else {
+            0.0
+        };
+        // Completions arrive in time order, so the p90 completion is a
+        // direct index; no sort needed.
+        let steady_gbps = match completion_times.len() {
+            0 => 0.0,
+            n => {
+                let idx = ((n * 9) / 10).min(n - 1);
+                let t = completion_times[idx].since(SimTime::ZERO);
+                if t > SimDuration::ZERO {
+                    (idx + 1) as f64 * 64.0 / t.as_secs() / 1e9
+                } else {
+                    0.0
+                }
+            }
+        };
+        CampaignResult {
+            completed,
+            retries: st.pending.retries(),
+            dropped: self.net.dropped_count(),
+            rerouted: self.net.rerouted_count(),
+            poisoned: st.poisoned,
+            watchdog_reports: reports,
+            faults_applied,
+            mean_latency,
+            p99_latency,
+            delivered_gbps,
+            steady_gbps,
+            elapsed,
+        }
+    }
+
+    fn inject(&mut self, cfg: &FaultCampaignConfig, cpu: usize, at: SimTime, st: &mut RunState) {
+        let seq = st.issued[cpu];
+        st.issued[cpu] += 1;
+        let target = self.pick_target(cfg, cpu, &mut st.rngs[cpu]);
+        let home = self.cpus[target];
+        let tag = ((cpu as u64) << 32) | seq;
+        let deadline = at + cfg.retry.timeout;
+        st.pending.insert(
+            tag,
+            PendingTx {
+                src: self.cpus[cpu].index(),
+                home: home.index(),
+                first_issued: at,
+                deadline,
+                attempts: 1,
+            },
+        );
+        self.net
+            .send(at, self.cpus[cpu], home, MessageClass::Request, 16, tag);
+        self.net.set_timer(deadline, tag);
+        if !st.dog_armed {
+            self.net.set_timer(at + cfg.watchdog_window, WATCHDOG_TAG);
+            st.dog_armed = true;
+        }
+    }
+
+    /// Issue `cpu`'s next read, if it still has budget and has not drained.
+    /// Called when a read completes *or* is poisoned, so a CPU's window
+    /// never silently shrinks as faults eat its transactions.
+    fn inject_next(
+        &mut self,
+        cfg: &FaultCampaignConfig,
+        cpu: usize,
+        at: SimTime,
+        st: &mut RunState,
+    ) {
+        if st.issued[cpu] < cfg.requests_per_cpu as u64 && !self.net.is_drained(self.cpus[cpu]) {
+            self.inject(cfg, cpu, at, st);
+        }
+    }
+
+    /// A transaction timed out or its packet died with a wire: re-issue the
+    /// request after bounded exponential backoff, or poison it with a named
+    /// cause past `max_retries` (or when either end has drained). A poisoned
+    /// read frees its window slot, so the CPU issues its next read.
+    fn retry_or_poison(&mut self, cfg: &FaultCampaignConfig, tag: u64, st: &mut RunState) {
+        let Some(tx) = st.pending.get(tag).copied() else {
+            return; // completed in the meantime (e.g. drop of a dup response)
+        };
+        let now = self.net.now();
+        let src = NodeId::new(tx.src);
+        let cause = if self.net.is_drained(src) {
+            Some(format!("source cpu {} drained mid-flight", tx.src))
+        } else if self.net.is_drained(NodeId::new(tx.home)) {
+            Some(format!("home node {} drained; memory unreachable", tx.home))
+        } else if tx.attempts > cfg.retry.max_retries {
+            Some(format!(
+                "exhausted {} retries (timeout {} per attempt)",
+                cfg.retry.max_retries, cfg.retry.timeout
+            ))
+        } else {
+            None
+        };
+        if let Some(cause) = cause {
+            st.pending.poison(tag).expect("checked above");
+            st.poisoned.push(PoisonedTx {
+                tag,
+                cpu: (tag >> 32) as usize,
+                home: tx.home,
+                attempts: tx.attempts,
+                cause,
+            });
+            self.inject_next(cfg, (tag >> 32) as usize, now, st);
+            return;
+        }
+        let backoff = cfg.retry.backoff(tx.attempts);
+        let resend_at = now + backoff;
+        let deadline = resend_at + cfg.retry.timeout;
+        st.pending.retry(tag, deadline);
+        self.net.send(
+            resend_at,
+            src,
+            NodeId::new(tx.home),
+            MessageClass::Request,
+            16,
+            tag,
+        );
+        self.net.set_timer(deadline, tag);
+    }
+}
+
+/// Convenience: a fault campaign over a GS1280 (both Zboxes of each node
+/// serve, as in the load test).
+pub fn gs1280_fault_campaign(machine: &crate::Gs1280) -> FaultCampaign<crate::gs1280::FabricTopo> {
+    let calib = machine.calibration();
+    let zbox = ZboxConfig {
+        bandwidth_gbps: calib.zbox.bandwidth_gbps * 2.0,
+        ..calib.zbox
+    };
+    FaultCampaign::new(
+        machine.network(),
+        zbox,
+        calib.local_fixed,
+        calib.remote_fixed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gs1280;
+
+    fn campaign16() -> FaultCampaign<crate::gs1280::FabricTopo> {
+        gs1280_fault_campaign(&Gs1280::builder().cpus(16).build())
+    }
+
+    #[test]
+    fn healthy_baseline_matches_issue_count() {
+        let r = campaign16().run(&FaultCampaignConfig {
+            requests_per_cpu: 50,
+            ..Default::default()
+        });
+        assert_eq!(r.completed, 16 * 50);
+        assert!(r.poisoned.is_empty());
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.dropped, 0);
+        assert!(r.watchdog_reports.is_empty());
+        assert!(r.delivered_gbps > 0.0);
+        assert!(r.p99_latency >= r.mean_latency);
+    }
+
+    #[test]
+    fn fault_campaign_smoke() {
+        // The CI smoke job: a small torus, two mid-run link failures,
+        // watchdog enabled. Every transaction must complete or be poisoned
+        // with a named cause — zero hung transactions.
+        let mut plan = FaultPlan::new();
+        plan.push(
+            SimTime::ZERO + SimDuration::from_us(1.0),
+            FaultKind::LinkDown { a: 0, b: 1 },
+        );
+        plan.push(
+            SimTime::ZERO + SimDuration::from_us(2.0),
+            FaultKind::LinkDown { a: 5, b: 6 },
+        );
+        let r = campaign16().run(&FaultCampaignConfig {
+            outstanding: 8,
+            requests_per_cpu: 100,
+            plan,
+            ..Default::default()
+        });
+        assert_eq!(
+            r.completed + r.poisoned.len() as u64,
+            16 * 100,
+            "every read completes or is poisoned — none hang"
+        );
+        assert_eq!(r.faults_applied.len(), 2);
+        assert!(r.dropped + r.rerouted > 0, "the cuts hit live traffic");
+        for p in &r.poisoned {
+            assert!(!p.cause.is_empty(), "poisoned tx must name its cause");
+        }
+    }
+
+    #[test]
+    fn dropped_requests_are_retried_to_completion() {
+        // One cut through a bisection-heavy pattern: drops occur, retries
+        // recover them, everything completes.
+        let mut plan = FaultPlan::new();
+        plan.push(
+            SimTime::ZERO + SimDuration::from_us(1.5),
+            FaultKind::LinkDown { a: 1, b: 2 },
+        );
+        let r = campaign16().run(&FaultCampaignConfig {
+            outstanding: 6,
+            requests_per_cpu: 80,
+            pattern: CampaignPattern::Bisection,
+            plan,
+            ..Default::default()
+        });
+        assert_eq!(r.completed + r.poisoned.len() as u64, 16 * 80);
+        if r.dropped > 0 {
+            assert!(r.retries > 0, "drops must trigger retries");
+        }
+    }
+
+    #[test]
+    fn drained_node_poisons_its_outstanding_reads() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            SimTime::ZERO + SimDuration::from_us(1.0),
+            FaultKind::NodeDrain { node: 3 },
+        );
+        let r = campaign16().run(&FaultCampaignConfig {
+            outstanding: 4,
+            requests_per_cpu: 200,
+            plan,
+            ..Default::default()
+        });
+        // Node 3 stops issuing and its memory goes dark: reads touching it
+        // are poisoned with a named cause, everything else completes, and
+        // nothing hangs.
+        assert!(r.completed < 16 * 200);
+        assert!(r.completed > 15 * 200 / 2, "other CPUs keep running");
+        assert!(!r.poisoned.is_empty(), "reads to the dead node must poison");
+        for p in &r.poisoned {
+            assert!(
+                p.cpu == 3 || p.home == 3,
+                "only reads touching the drained node may poison: {p:?}"
+            );
+            assert!(p.cause.contains("drained"), "{}", p.cause);
+        }
+    }
+
+    #[test]
+    fn channel_failure_is_applied_to_the_zbox() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            SimTime::ZERO + SimDuration::from_us(1.0),
+            FaultKind::ChannelDown { node: 0 },
+        );
+        plan.push(
+            SimTime::ZERO + SimDuration::from_us(1.2),
+            FaultKind::ChannelDown { node: 0 },
+        );
+        let r = campaign16().run(&FaultCampaignConfig {
+            requests_per_cpu: 60,
+            plan,
+            ..Default::default()
+        });
+        assert_eq!(r.completed, 16 * 60);
+        assert_eq!(r.faults_applied.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_plan() {
+        let run = || {
+            let mut plan = FaultPlan::new();
+            plan.push(
+                SimTime::ZERO + SimDuration::from_us(1.0),
+                FaultKind::LinkDown { a: 0, b: 1 },
+            );
+            campaign16().run(&FaultCampaignConfig {
+                outstanding: 6,
+                requests_per_cpu: 60,
+                plan,
+                ..Default::default()
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.mean_latency, b.mean_latency);
+        assert_eq!(a.p99_latency, b.p99_latency);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn bisection_pattern_mirrors_across_the_cut() {
+        let c = campaign16();
+        // 4x4 torus: (x, y) -> (3 - x, y).
+        assert_eq!(c.bisection_partner(0), 3);
+        assert_eq!(c.bisection_partner(1), 2);
+        assert_eq!(c.bisection_partner(5), 6);
+        assert_eq!(c.bisection_partner(12), 15);
+    }
+}

@@ -31,6 +31,7 @@
 mod calibration;
 mod coherent;
 mod es45;
+pub mod faulty;
 mod gs1280;
 mod gs320;
 mod io;
@@ -40,6 +41,10 @@ pub mod path;
 pub use calibration::{Calibration, MachineKind};
 pub use coherent::{CoherentMachine, CoherentOutcome, CoherentStats, MachineModel, ServiceClass};
 pub use es45::{Es45, Sc45};
+pub use faulty::{
+    gs1280_fault_campaign, CampaignPattern, CampaignResult, FaultCampaign, FaultCampaignConfig,
+    PoisonedTx,
+};
 pub use gs1280::{FabricTopo, Gs1280, Gs1280Builder};
 pub use gs320::Gs320;
 pub use io::IoSubsystem;

@@ -101,6 +101,32 @@ impl Topology for BiTwist {
     }
 }
 
+/// Wounded-fabric probe: how the torus metrics hold up as bisection links
+/// die. Only live links count — a dead link contributes no bisection width
+/// and no path.
+fn wounded_fabric_probe() {
+    use alphasim_topology::{Degraded, Torus2D};
+    println!("\nwounded fabric (8x8 torus, cutting bisection links row by row):");
+    let healthy = Torus2D::new(8, 8);
+    let healthy_bis = bisection_width(&healthy);
+    for cuts in 0..=6usize {
+        let failed: Vec<(NodeId, NodeId)> = (0..cuts)
+            .map(|row| (NodeId::new(row * 8 + 3), NodeId::new(row * 8 + 4)))
+            .collect();
+        let wounded =
+            Degraded::try_new(Torus2D::new(8, 8), &failed).expect("bisection links exist");
+        let d = DistanceMatrix::compute(&wounded);
+        assert!(d.is_connected(), "{cuts} cuts must not partition");
+        println!(
+            "  {cuts} dead links: avg dist {:.3} worst {} bisection {}/{}",
+            d.average_distance(),
+            d.diameter(),
+            bisection_width(&wounded),
+            healthy_bis
+        );
+    }
+}
+
 fn main() {
     println!("targets: 4x2 1.200/1.500/2 | 4x4 1.067/1.333/1 | 8x4 1.171/1.500/2 | 8x8 1.185/1.333/1 | 16x8 1.371/1.500/2 | 16x16 1.454/1.778/1");
     for (c, r) in [(4usize, 2usize), (4, 4), (8, 4), (8, 8), (16, 8), (16, 16)] {
@@ -126,4 +152,5 @@ fn main() {
             );
         }
     }
+    wounded_fabric_probe();
 }

@@ -11,6 +11,30 @@ use serde::{Deserialize, Serialize};
 use crate::ids::{Coord, NodeId, Port};
 use crate::Topology;
 
+/// Why a set of link failures could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedError {
+    /// The named link does not exist in the underlying topology.
+    NoSuchLink {
+        /// Claimed source of the link.
+        from: NodeId,
+        /// Claimed destination.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for DegradedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedError::NoSuchLink { from, to } => {
+                write!(f, "no link {from} -> {to} to fail")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegradedError {}
+
 /// A wrapper that hides failed links of an underlying topology.
 ///
 /// Failures are *undirected*: failing `a ↔ b` removes both directed ports.
@@ -39,13 +63,24 @@ impl<T: Topology> Degraded<T> {
     ///
     /// # Panics
     ///
-    /// Panics if a named link does not exist in `inner`.
+    /// Panics if a named link does not exist in `inner`; fault-injection
+    /// callers working from a generated plan should prefer
+    /// [`try_new`](Self::try_new) and handle the error.
     pub fn new(inner: T, failed: &[(NodeId, NodeId)]) -> Self {
+        match Self::try_new(inner, failed) {
+            Ok(degraded) => degraded,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new): `inner` with every link in `failed`
+    /// removed, or a [`DegradedError`] naming the first link that does not
+    /// exist (rather than aborting mid-campaign).
+    pub fn try_new(inner: T, failed: &[(NodeId, NodeId)]) -> Result<Self, DegradedError> {
         for &(a, b) in failed {
-            assert!(
-                inner.ports(a).iter().any(|p| p.to == b),
-                "no link {a} -> {b} to fail"
-            );
+            if a.index() >= inner.node_count() || !inner.ports(a).iter().any(|p| p.to == b) {
+                return Err(DegradedError::NoSuchLink { from: a, to: b });
+            }
         }
         let is_failed = |from: NodeId, to: NodeId| {
             failed
@@ -63,11 +98,11 @@ impl<T: Topology> Degraded<T> {
                     .collect()
             })
             .collect();
-        Degraded {
+        Ok(Degraded {
             inner,
             failed: failed.to_vec(),
             ports,
-        }
+        })
     }
 
     /// The healthy topology underneath.
@@ -168,5 +203,31 @@ mod tests {
     #[should_panic(expected = "no link")]
     fn rejects_nonexistent_link() {
         let _ = Degraded::new(Torus2D::new(4, 4), &[(NodeId::new(0), NodeId::new(10))]);
+    }
+
+    #[test]
+    fn try_new_reports_bad_links_instead_of_panicking() {
+        let err = Degraded::try_new(Torus2D::new(4, 4), &[(NodeId::new(0), NodeId::new(10))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DegradedError::NoSuchLink {
+                from: NodeId::new(0),
+                to: NodeId::new(10),
+            }
+        );
+        assert!(err.to_string().contains("no link"));
+        // Out-of-range endpoints error rather than panic too.
+        let oob = Degraded::try_new(Torus2D::new(2, 2), &[(NodeId::new(99), NodeId::new(0))]);
+        assert!(oob.is_err());
+    }
+
+    #[test]
+    fn try_new_matches_new_on_valid_input() {
+        let cuts = [(NodeId::new(0), NodeId::new(1))];
+        let a = Degraded::new(Torus2D::new(4, 4), &cuts);
+        let b = Degraded::try_new(Torus2D::new(4, 4), &cuts).unwrap();
+        assert_eq!(a.failed_links(), b.failed_links());
+        assert_eq!(a.ports(NodeId::new(0)), b.ports(NodeId::new(0)));
     }
 }

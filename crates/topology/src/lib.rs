@@ -36,7 +36,7 @@ mod shuffle;
 pub mod table1;
 mod torus;
 
-pub use degraded::Degraded;
+pub use degraded::{Degraded, DegradedError};
 pub use hier::{QbbTree, SharedBus, StarCluster};
 pub use ids::{Coord, Direction, LinkClass, NodeId, Port};
 pub use shuffle::ShuffleTorus;

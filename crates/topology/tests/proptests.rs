@@ -2,8 +2,31 @@
 
 use alphasim_topology::graph::{bisection_width, DistanceMatrix};
 use alphasim_topology::route::{escape_network_is_acyclic, RoutePolicy, Routes};
-use alphasim_topology::{NodeId, ShuffleTorus, Topology, Torus2D};
+use alphasim_topology::{Degraded, NodeId, ShuffleTorus, Topology, Torus2D};
 use proptest::prelude::*;
+
+/// Every full-duplex link of `t`, once per pair.
+fn torus_links(t: &Torus2D) -> Vec<(NodeId, NodeId)> {
+    let mut links = Vec::new();
+    for n in 0..t.node_count() {
+        let a = NodeId::new(n);
+        for p in t.ports(a) {
+            if a.index() < p.to.index() {
+                links.push((a, p.to));
+            }
+        }
+    }
+    links
+}
+
+/// The 4x4 or 8x8 experiment tori (edge connectivity 4).
+fn experiment_torus(big: bool) -> Torus2D {
+    if big {
+        Torus2D::new(8, 8)
+    } else {
+        Torus2D::new(4, 4)
+    }
+}
 
 fn torus_shapes() -> impl Strategy<Value = (usize, usize)> {
     (1usize..=8, 1usize..=8).prop_filter("at least 2 nodes", |&(c, r)| c * r >= 2)
@@ -107,5 +130,55 @@ proptest! {
         let b = bisection_width(&t);
         prop_assert!(b > 0);
         prop_assert!(b <= t.link_count() / 2);
+    }
+
+    /// The experiment tori (4x4, 8x8) stay connected under ANY single link
+    /// failure — degree 4 gives edge connectivity 4, so the fault-injection
+    /// sweep can cut a link anywhere without partitioning.
+    #[test]
+    fn torus_survives_any_single_link_failure(big in any::<bool>(), ix in 0usize..4096) {
+        let t = experiment_torus(big);
+        let links = torus_links(&t);
+        let cut = links[ix % links.len()];
+        let wounded = Degraded::try_new(t, &[cut]).expect("enumerated link exists");
+        prop_assert!(DistanceMatrix::compute(&wounded).is_connected());
+    }
+
+    /// … and under ANY double link failure.
+    #[test]
+    fn torus_survives_any_double_link_failure(
+        big in any::<bool>(),
+        i in 0usize..4096,
+        j in 0usize..4096,
+    ) {
+        let t = experiment_torus(big);
+        let links = torus_links(&t);
+        let a = links[i % links.len()];
+        let b = links[j % links.len()];
+        prop_assume!(a != b);
+        let wounded = Degraded::try_new(t, &[a, b]).expect("enumerated links exist");
+        prop_assert!(DistanceMatrix::compute(&wounded).is_connected());
+    }
+
+    /// Failing a link can only lengthen paths: no pairwise distance ever
+    /// decreases (routing around a wound is monotone in cost).
+    #[test]
+    fn link_failure_never_shortens_distances(big in any::<bool>(), ix in 0usize..4096) {
+        let t = experiment_torus(big);
+        let links = torus_links(&t);
+        let cut = links[ix % links.len()];
+        let healthy = DistanceMatrix::compute(&t);
+        let n = t.node_count();
+        let wounded = Degraded::try_new(t, &[cut]).expect("enumerated link exists");
+        let after = DistanceMatrix::compute(&wounded);
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                prop_assert!(
+                    after.distance(a, b) >= healthy.distance(a, b),
+                    "{a} -> {b} got shorter after cutting {cut:?}"
+                );
+            }
+        }
     }
 }
