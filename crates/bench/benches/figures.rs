@@ -6,6 +6,9 @@
 //! bench) reports the headline numbers the paper's version of the artifact
 //! carries, so `cargo bench` doubles as the reproduction run.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

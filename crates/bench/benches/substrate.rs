@@ -3,6 +3,9 @@
 //! events per second. These are about the *simulator's* speed — what an
 //! adopter sizing a bigger study cares about.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -55,7 +55,7 @@ fn main() {
     let workers = jobs();
     eprintln!("regenerating all experiments ({effort:?}, {workers} worker(s)) ...");
     take_peak_event_depth(); // start the gauge fresh for this sweep
-    let wall = Instant::now();
+    let wall = Instant::now(); // lint-allow: wall-clock (harness self-timing)
     let timed = run_all_timed(effort);
     let total_secs = wall.elapsed().as_secs_f64();
     let peak_depth = take_peak_event_depth();

@@ -1,5 +1,8 @@
 //! Property tests for the cache models.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim_cache::{Addr, CacheGeometry, CacheHierarchy, HierarchyConfig, SetAssocCache};
 use alphasim_kernel::SimDuration;
 use proptest::prelude::*;

@@ -1,7 +1,7 @@
 //! The global directory protocol of the 21364 (paper §2): a forwarding
 //! protocol with Request, Forward, and Response message types.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use alphasim_net::MessageClass;
 use serde::{Deserialize, Serialize};
@@ -65,7 +65,10 @@ pub struct DirectoryStats {
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Directory {
-    lines: HashMap<u64, LineState>,
+    /// Keyed by line address. A `BTreeMap` (not a hash map) so that stats
+    /// and invariant sweeps iterate in address order — eviction scans and
+    /// serialized snapshots are byte-identical across runs.
+    lines: BTreeMap<u64, LineState>,
     stats: DirectoryStats,
 }
 
@@ -86,6 +89,29 @@ impl Directory {
     /// Protocol statistics so far.
     pub fn stats(&self) -> DirectoryStats {
         self.stats
+    }
+
+    /// Force `line` into `state`, bypassing the protocol.
+    ///
+    /// This exists for verification tooling (the `verify` crate's model
+    /// checker replays abstract states through the real transition code)
+    /// and for tests; production paths always go through [`access`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is `Shared` with an empty sharer set, which the
+    /// protocol can never produce.
+    ///
+    /// [`access`]: Self::access
+    pub fn seed_line(&mut self, line: u64, state: LineState) {
+        if let LineState::Shared(s) = &state {
+            assert!(!s.is_empty(), "Shared state needs at least one sharer");
+        }
+        if state == LineState::Uncached {
+            self.lines.remove(&line);
+        } else {
+            self.lines.insert(line, state);
+        }
     }
 
     /// Present an access from `requester` to `line` whose home is `home`,

@@ -357,6 +357,71 @@ mod tests {
     }
 
     #[test]
+    fn poison_threshold_binds_at_exactly_max_retries() {
+        // The system layer poisons when `attempts > max_retries`. With
+        // max_retries = 2, walk one transaction through both allowed
+        // retries and check the threshold flips at attempt 3 exactly —
+        // not one retry earlier, not one later.
+        let p = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::gs1280_default()
+        };
+        let mut set = PendingSet::new();
+        set.insert(
+            1,
+            PendingTx {
+                src: 0,
+                home: 1,
+                first_issued: t(0.0),
+                deadline: t(10.0),
+                attempts: 1,
+            },
+        );
+        let over = |set: &PendingSet| set.get(1).expect("outstanding").attempts > p.max_retries;
+        assert!(!over(&set), "the original send is not past the threshold");
+        assert_eq!(set.retry(1, t(20.0)), 2);
+        assert!(!over(&set), "retry number max_retries is still allowed");
+        assert_eq!(set.retry(1, t(30.0)), 3);
+        assert!(over(&set), "attempt max_retries + 1 must poison");
+        let tx = set.poison(1).expect("still outstanding");
+        assert_eq!(tx.attempts, 3);
+        assert!(set.is_empty());
+        assert_eq!(set.completed(), 0, "poison is not a completion");
+        assert_eq!(set.retries(), 2);
+    }
+
+    #[test]
+    fn backoff_cap_saturation_is_exact() {
+        let p = RetryPolicy::gs1280_default();
+        // Attempt 5 is the first at the 16 µs cap (1 → 2 → 4 → 8 → 16);
+        // attempt 4 is strictly below it.
+        assert!(p.backoff(4) < p.backoff_cap);
+        assert_eq!(p.backoff(4), SimDuration::from_us(8.0));
+        assert_eq!(p.backoff(5), p.backoff_cap);
+        // A cap equal to the base binds from the very first attempt.
+        let tight = RetryPolicy {
+            backoff_cap: p.backoff_base,
+            ..p
+        };
+        assert_eq!(tight.backoff(1), tight.backoff_cap);
+        assert_eq!(tight.backoff(100), tight.backoff_cap);
+    }
+
+    #[test]
+    fn zero_retry_policy_poisons_on_the_first_timeout() {
+        // max_retries = 0: the original send is the only attempt the
+        // threshold admits.
+        let p = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::gs1280_default()
+        };
+        let first_attempt = 1u32;
+        assert!(first_attempt > p.max_retries, "attempt 1 is already past");
+        // Backoff for the (never-taken) first retry is still well-defined.
+        assert_eq!(p.backoff(1), p.backoff_base);
+    }
+
+    #[test]
     fn watchdog_fires_only_after_a_quiet_window_with_work_outstanding() {
         let mut dog = Watchdog::new(SimDuration::from_us(50.0));
         let mut set = PendingSet::new();

@@ -1,6 +1,9 @@
 //! Property tests for the directory protocol: safety invariants under
 //! arbitrary operation streams.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim_coherence::{AccessKind, Directory, LineState, ServedBy};
 use proptest::prelude::*;
 

@@ -1,5 +1,8 @@
 //! Property tests for the address map and memory controller.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim_cache::Addr;
 use alphasim_kernel::SimTime;
 use alphasim_mem::{AddressMap, Interleave, Zbox, ZboxConfig};

@@ -1,5 +1,8 @@
 //! Property tests for the network simulator.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim_kernel::SimTime;
 use alphasim_net::{LinkTiming, MessageClass, NetworkSim};
 use alphasim_topology::{NodeId, Torus2D};

@@ -47,6 +47,13 @@ pub fn jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Lock `m`, treating poisoning as a bug: a worker panic already aborts the
+/// whole map via scope propagation, so a poisoned slot is unreachable.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock()
+        .expect("no worker panics while holding a slot lock")
+}
+
 /// Apply `f` to every item, possibly on several threads, and return the
 /// results in the same order as the inputs.
 ///
@@ -83,15 +90,19 @@ where
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(slot) = slots.get(i) else { break };
-                let item = slot.lock().unwrap().take().expect("item claimed once");
+                let item = lock_clean(slot).take().expect("item claimed once");
                 let out = f(item);
-                *results[i].lock().unwrap() = Some(out);
+                *lock_clean(&results[i]) = Some(out);
             });
         }
     });
     results
         .into_iter()
-        .map(|r| r.into_inner().unwrap().expect("worker completed"))
+        .map(|r| {
+            r.into_inner()
+                .expect("no worker holds a lock after the scope joins")
+                .expect("worker completed")
+        })
         .collect()
 }
 

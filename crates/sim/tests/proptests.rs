@@ -1,5 +1,8 @@
 //! Property tests for the simulation kernel.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim_kernel::stats::RunningStats;
 use alphasim_kernel::{DetRng, EventQueue, SimDuration, SimTime};
 use proptest::prelude::*;

@@ -174,7 +174,7 @@ impl<T: Topology> FaultCampaign<T> {
         let cols = (0..self.cpus.len())
             .map(|i| coord(i).x as usize)
             .max()
-            .unwrap()
+            .expect("fault campaign has at least one CPU")
             + 1;
         let c = coord(cpu);
         let mx = cols - 1 - c.x as usize;
@@ -476,6 +476,39 @@ mod tests {
 
     fn campaign16() -> FaultCampaign<crate::gs1280::FabricTopo> {
         gs1280_fault_campaign(&Gs1280::builder().cpus(16).build())
+    }
+
+    #[test]
+    fn zero_retry_policy_poisons_at_the_exact_boundary_with_named_cause() {
+        // max_retries = 0 with a timeout far below any remote round trip:
+        // every remote read times out on its original send, and the
+        // `attempts > max_retries` threshold poisons it immediately — the
+        // exact boundary, with the retry count named in the cause. No
+        // faults are injected; the policy alone drives the NAK path.
+        let r = campaign16().run(&FaultCampaignConfig {
+            requests_per_cpu: 20,
+            retry: RetryPolicy {
+                timeout: SimDuration::from_ps(1),
+                max_retries: 0,
+                ..RetryPolicy::gs1280_default()
+            },
+            ..Default::default()
+        });
+        assert_eq!(
+            r.completed + r.poisoned.len() as u64,
+            16 * 20,
+            "every read completes or is poisoned"
+        );
+        assert!(!r.poisoned.is_empty(), "a 1 ps timeout must poison reads");
+        assert_eq!(r.retries, 0, "max_retries = 0 leaves no room for retries");
+        for p in &r.poisoned {
+            assert_eq!(p.attempts, 1, "poisoned on the original send");
+            assert!(
+                p.cause.contains("exhausted 0 retries"),
+                "cause must name the exact retry budget: {}",
+                p.cause
+            );
+        }
     }
 
     #[test]

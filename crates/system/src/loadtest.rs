@@ -6,7 +6,7 @@
 //! GUPS throughput study (Figs. 23–24) and the hot-spot striping experiment
 //! (Figs. 26–27): they differ only in traffic pattern and window size.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use alphasim_cache::Addr;
 use alphasim_kernel::{DetRng, SimDuration, SimTime};
@@ -114,7 +114,7 @@ pub struct LoadTest<T: Topology> {
     /// CPU endpoints that generate traffic.
     cpus: Vec<NodeId>,
     /// One controller per distinct memory site.
-    zboxes: HashMap<usize, Zbox>,
+    zboxes: BTreeMap<usize, Zbox>,
     /// Front-end (cache miss detect) charge reported per transaction.
     front_overhead: SimDuration,
     /// Directory processing time at the home before memory is accessed.
@@ -144,7 +144,7 @@ impl<T: Topology> LoadTest<T> {
             site_of_cpu.len() >= cpus.len(),
             "need a memory site per CPU"
         );
-        let mut zboxes = HashMap::new();
+        let mut zboxes = BTreeMap::new();
         for site in &site_of_cpu {
             zboxes
                 .entry(site.index())
@@ -188,7 +188,7 @@ impl<T: Topology> LoadTest<T> {
             .map(|i| DetRng::seeded(cfg.seed).split(i as u64))
             .collect();
         let mut issued = vec![0u64; ncpus];
-        let mut start_of: HashMap<u64, SimTime> = HashMap::new();
+        let mut start_of: BTreeMap<u64, SimTime> = BTreeMap::new();
         let mut total_latency = SimDuration::ZERO;
         let mut completed = 0u64;
 
@@ -281,7 +281,7 @@ impl<T: Topology> LoadTest<T> {
         at: SimTime,
         rngs: &mut [DetRng],
         issued: &mut [u64],
-        start_of: &mut HashMap<u64, SimTime>,
+        start_of: &mut BTreeMap<u64, SimTime>,
     ) {
         let seq = issued[cpu];
         issued[cpu] += 1;
@@ -332,7 +332,7 @@ impl Sampler {
         net: &NetworkSim<T>,
         cpus: &[NodeId],
         site_of_cpu: &[NodeId],
-        zboxes: &HashMap<usize, Zbox>,
+        zboxes: &BTreeMap<usize, Zbox>,
     ) -> UtilSample {
         let window = self.interval.as_ps() as f64;
         let mut zbox = Vec::with_capacity(cpus.len());

@@ -1,5 +1,8 @@
 //! Property tests for the machine models.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim_system::{CoherentMachine, Gs1280, Gs320};
 use alphasim_topology::NodeId;
 use proptest::prelude::*;

@@ -1,4 +1,7 @@
 //! Scratch probe for Table 1 constructions (not part of the library API).
+
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
 use alphasim_topology::graph::{bisection_width, DistanceMatrix};
 use alphasim_topology::{Coord, Direction, LinkClass, NodeId, Port, Topology};
 

@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod degraded;
 pub mod graph;
@@ -35,12 +36,14 @@ pub mod route;
 mod shuffle;
 pub mod table1;
 mod torus;
+pub mod updown;
 
 pub use degraded::{Degraded, DegradedError};
 pub use hier::{QbbTree, SharedBus, StarCluster};
 pub use ids::{Coord, Direction, LinkClass, NodeId, Port};
 pub use shuffle::ShuffleTorus;
 pub use torus::Torus2D;
+pub use updown::{UpDownError, UpDownRoutes};
 
 /// A directed-adjacency view of an interconnect.
 ///

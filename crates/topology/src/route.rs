@@ -263,6 +263,61 @@ pub struct EscapeChannel {
     pub vc: u8,
 }
 
+/// The dimension-order escape path from `src` to `dst` as a sequence of
+/// virtual channels, one per physical hop.
+///
+/// With `dateline_vcs == true`, packets start each ring on VC0 and move to
+/// VC1 after crossing that ring's wrap link (the 21364's intra-dimension
+/// deadlock fix); entering a new dimension resets the packet to VC0. With
+/// `false` every hop reports VC0, modelling a single-VC torus.
+///
+/// Returns the empty path when `src == dst`.
+pub fn escape_path(
+    torus: &Torus2D,
+    src: NodeId,
+    dst: NodeId,
+    dateline_vcs: bool,
+) -> Vec<EscapeChannel> {
+    let mut path = Vec::new();
+    let mut at = src;
+    let mut vc = 0u8;
+    let mut prev_horizontal: Option<bool> = None;
+    while at != dst {
+        let dir = dimension_order_direction(torus, at, dst).expect("not yet arrived");
+        let port = torus
+            .ports(at)
+            .iter()
+            .find(|p| p.dir == Some(dir))
+            .expect("torus has the escape direction");
+        // Crossing a wrap link: adjacent ring positions that are not
+        // numerically adjacent. On 2-rings the two nodes are mutually
+        // adjacent; the 2-cycle is harmless for the CDG because the two
+        // directions use distinct buffers.
+        let here = torus.coord_of(at);
+        let there = torus.coord_of(port.to);
+        let crossing = if dir.is_horizontal() {
+            wraps(here.x as usize, there.x as usize, torus.cols())
+        } else {
+            wraps(here.y as usize, there.y as usize, torus.rows())
+        };
+        // Moving into a new dimension resets the dateline VC.
+        if prev_horizontal.is_some_and(|h| h != dir.is_horizontal()) {
+            vc = 0;
+        }
+        path.push(EscapeChannel {
+            from: at,
+            to: port.to,
+            vc: if dateline_vcs { vc } else { 0 },
+        });
+        if crossing && dateline_vcs {
+            vc = 1;
+        }
+        prev_horizontal = Some(dir.is_horizontal());
+        at = port.to;
+    }
+    path
+}
+
 /// Build the channel-dependency graph of dimension-order escape routing on
 /// `torus` and report whether it is acyclic.
 ///
@@ -271,61 +326,25 @@ pub struct EscapeChannel {
 /// deadlock fix. With `false` (a single VC per link) the wrap rings create
 /// cyclic dependencies and this function reports a cycle, demonstrating why
 /// the VCs are necessary.
+///
+/// The richer analyzer in the `verify` crate builds on [`escape_path`] to
+/// cover all coherence classes and degraded topologies and to report the
+/// offending cycle; this boolean form is kept as the in-crate spot check.
 pub fn escape_network_is_acyclic(torus: &Torus2D, dateline_vcs: bool) -> bool {
-    use std::collections::{HashMap, HashSet};
+    use std::collections::{BTreeMap, BTreeSet};
     let n = torus.node_count();
-    let mut edges: HashMap<EscapeChannel, HashSet<EscapeChannel>> = HashMap::new();
+    let mut edges: BTreeMap<EscapeChannel, BTreeSet<EscapeChannel>> = BTreeMap::new();
     for src in 0..n {
         for dst in 0..n {
             if src == dst {
                 continue;
             }
-            let (src, dst) = (NodeId::new(src), NodeId::new(dst));
-            let mut at = src;
-            let mut vc = 0u8;
-            let mut prev: Option<EscapeChannel> = None;
-            while at != dst {
-                let dir = dimension_order_direction(torus, at, dst).expect("not yet arrived");
-                let port = torus
-                    .ports(at)
-                    .iter()
-                    .find(|p| p.dir == Some(dir))
-                    .expect("torus has the escape direction");
-                // Crossing a wrap link: x-wrap when |Δx| > 1 on a >2 ring,
-                // detected by ring positions; same for y. On 2-rings the two
-                // nodes are mutually adjacent and wrap is harmless (no cycle
-                // of length > 2 exists… it does: 2-cycles are fine for CDG
-                // as buffers differ per direction).
-                let here = torus.coord_of(at);
-                let there = torus.coord_of(port.to);
-                let crossing = if dir.is_horizontal() {
-                    wraps(here.x as usize, there.x as usize, torus.cols())
-                } else {
-                    wraps(here.y as usize, there.y as usize, torus.rows())
-                };
-                // Moving into a new dimension resets the dateline VC.
-                if let Some(p) = prev.as_ref() {
-                    let pa = torus.coord_of(p.from);
-                    let pb = torus.coord_of(p.to);
-                    let prev_dir_horizontal = pa.y == pb.y;
-                    if prev_dir_horizontal != dir.is_horizontal() {
-                        vc = 0;
-                    }
-                }
-                let chan = EscapeChannel {
-                    from: at,
-                    to: port.to,
-                    vc: if dateline_vcs { vc } else { 0 },
-                };
-                if let Some(p) = prev {
-                    edges.entry(p).or_default().insert(chan);
-                }
+            let path = escape_path(torus, NodeId::new(src), NodeId::new(dst), dateline_vcs);
+            for pair in path.windows(2) {
+                edges.entry(pair[0]).or_default().insert(pair[1]);
+            }
+            for &chan in &path {
                 edges.entry(chan).or_default();
-                if crossing && dateline_vcs {
-                    vc = 1;
-                }
-                prev = Some(chan);
-                at = port.to;
             }
         }
     }
@@ -337,11 +356,11 @@ pub fn escape_network_is_acyclic(torus: &Torus2D, dateline_vcs: bool) -> bool {
         Black,
     }
     let keys: Vec<EscapeChannel> = edges.keys().copied().collect();
-    let mut marks: HashMap<EscapeChannel, Mark> = keys.iter().map(|&k| (k, Mark::White)).collect();
+    let mut marks: BTreeMap<EscapeChannel, Mark> = keys.iter().map(|&k| (k, Mark::White)).collect();
     fn dfs(
         u: EscapeChannel,
-        edges: &HashMap<EscapeChannel, HashSet<EscapeChannel>>,
-        marks: &mut HashMap<EscapeChannel, Mark>,
+        edges: &BTreeMap<EscapeChannel, BTreeSet<EscapeChannel>>,
+        marks: &mut BTreeMap<EscapeChannel, Mark>,
     ) -> bool {
         marks.insert(u, Mark::Grey);
         if let Some(nexts) = edges.get(&u) {
@@ -509,6 +528,34 @@ mod tests {
                     hops += 1;
                 }
                 assert_eq!(hops, t.hop_distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn escape_paths_follow_dimension_order_and_stamp_datelines() {
+        let t = Torus2D::new(4, 4);
+        for a in 0..16 {
+            for b in 0..16 {
+                let (src, dst) = (NodeId::new(a), NodeId::new(b));
+                let path = escape_path(&t, src, dst, true);
+                assert_eq!(path.len(), t.hop_distance(src, dst));
+                if a == b {
+                    continue;
+                }
+                assert_eq!(path[0].from, src);
+                assert_eq!(path.last().unwrap().to, dst);
+                for pair in path.windows(2) {
+                    assert_eq!(pair[0].to, pair[1].from);
+                    // The dateline VC never steps back within a dimension.
+                    let same_dim = (t.coord_of(pair[0].from).y == t.coord_of(pair[0].to).y)
+                        == (t.coord_of(pair[1].from).y == t.coord_of(pair[1].to).y);
+                    if same_dim {
+                        assert!(pair[1].vc >= pair[0].vc, "{path:?}");
+                    }
+                }
+                // Without datelines every hop reports VC0.
+                assert!(escape_path(&t, src, dst, false).iter().all(|c| c.vc == 0));
             }
         }
     }

@@ -1,5 +1,8 @@
 //! Property tests for topologies and routing.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim_topology::graph::{bisection_width, DistanceMatrix};
 use alphasim_topology::route::{escape_network_is_acyclic, RoutePolicy, Routes};
 use alphasim_topology::{Degraded, NodeId, ShuffleTorus, Topology, Torus2D};

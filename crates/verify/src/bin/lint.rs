@@ -1,0 +1,40 @@
+//! Workspace determinism lint, `-D` semantics: any unexplained finding is
+//! fatal. Run as `cargo run -p verify --bin lint`.
+
+use verify::lint;
+
+fn main() {
+    let root = verify::workspace_root();
+    let out = match lint::scan_workspace(&root) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    let rules = lint::rules();
+    for f in &out.findings {
+        let advice = rules
+            .iter()
+            .find(|r| r.name == f.rule)
+            .map(|r| r.advice)
+            .unwrap_or_default();
+        println!(
+            "{}:{}: [{}] {}\n    note: {advice}\n    note: silence an audited exception with `// lint-allow: {}`",
+            f.file.display(),
+            f.line,
+            f.rule,
+            f.excerpt,
+            f.rule,
+        );
+    }
+    println!(
+        "determinism lint: {} file(s) scanned, {} allowed exception(s), {} unexplained finding(s)",
+        out.files,
+        out.allowed,
+        out.findings.len()
+    );
+    if !out.findings.is_empty() {
+        std::process::exit(1);
+    }
+}

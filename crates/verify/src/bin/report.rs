@@ -1,0 +1,45 @@
+//! Regenerate (or check) the `results/verify.json` verification artifact.
+//!
+//! ```text
+//! cargo run --release -p verify --bin report                   # rewrite
+//! cargo run --release -p verify --bin report -- --check PATH   # assert byte-identical
+//! ```
+
+use verify::report;
+
+fn main() {
+    let mut check = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => path = Some(other.to_string()),
+        }
+    }
+    let root = verify::workspace_root();
+    let path = path.map_or_else(|| root.join("results/verify.json"), Into::into);
+    let fresh = report::to_json(&report::build(&root));
+    if check {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("verify report: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        if committed == fresh {
+            println!("verify report: {} is up to date", path.display());
+        } else {
+            eprintln!(
+                "verify report: {} is stale — regenerate with `cargo run --release -p verify --bin report`",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    } else if let Err(e) = std::fs::write(&path, &fresh) {
+        eprintln!("verify report: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    } else {
+        println!("verify report: wrote {}", path.display());
+    }
+}

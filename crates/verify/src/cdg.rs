@@ -1,0 +1,422 @@
+//! Channel-dependency-graph deadlock analyzer.
+//!
+//! Dally & Seitz: a routing function is deadlock-free iff its channel
+//! dependency graph (CDG) is acyclic. This module builds the *full* CDG of
+//! the escape network — one vertex per (directed physical link, dateline
+//! virtual channel, coherence class) triple — from the actual routing
+//! functions in `alphasim-topology`, adds the cross-class protocol edges of
+//! [`MessageClass::may_generate`], and searches it for cycles, reporting the
+//! offending channel sequence when one exists.
+//!
+//! Two kinds of dependency edge:
+//!
+//! * **Routing edges**: a packet holding channel `a` waits for channel `b`
+//!   when `b` is the next hop of some route — every consecutive hop pair of
+//!   every (src, dst) path, per class (classes ride disjoint VC lanes, so a
+//!   routing edge never crosses classes).
+//! * **Protocol edges**: a class-`c` packet arriving at node `v` can cause
+//!   the protocol to emit a class-`c'` packet from `v` (`c'` in
+//!   `c.may_generate()`), so every final hop of a `c`-route into `v`
+//!   depends on every first hop of a `c'`-route out of `v`. The Io → Io
+//!   self-generation edge is deliberately excluded: an Io packet is
+//!   consumed at its endpoint and the reply is a fresh injection behind the
+//!   endpoint's sink buffer, so it cannot hold fabric channels while
+//!   waiting — including it would manufacture cycles no real dependency
+//!   creates.
+//!
+//! Healthy tori route with the dimension-order + dateline-VC escape
+//! function ([`escape_path`]); degraded (link-cut) fabrics route up*/down*
+//! ([`UpDownRoutes`]), which works on any connected graph. The sweep
+//! drivers enumerate every single and double link cut the fault campaigns
+//! can produce and re-verify each one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use alphasim_net::MessageClass;
+use alphasim_topology::graph::DistanceMatrix;
+use alphasim_topology::route::{escape_path, EscapeChannel};
+use alphasim_topology::{Degraded, NodeId, Topology, Torus2D, UpDownError, UpDownRoutes};
+
+/// One CDG vertex: a virtual channel on a directed physical link, owned by
+/// one coherence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Channel {
+    /// Source node of the directed link.
+    pub from: NodeId,
+    /// Destination node of the directed link.
+    pub to: NodeId,
+    /// Dateline / up-down virtual channel (0 or 1).
+    pub vc: u8,
+    /// Coherence class lane.
+    pub class: MessageClass,
+}
+
+/// The channel dependency graph of one routed topology.
+#[derive(Debug, Clone)]
+pub struct Cdg {
+    /// Vertices in ascending order; index is the vertex id.
+    channels: Vec<Channel>,
+    /// Adjacency by vertex id, deterministic order.
+    adj: Vec<BTreeSet<usize>>,
+}
+
+/// Aggregate size of a CDG, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CdgReport {
+    /// Number of (link, VC, class) vertices.
+    pub channels: usize,
+    /// Number of dependency edges.
+    pub edges: usize,
+}
+
+/// The outcome of a cycle search.
+#[derive(Debug, Clone)]
+pub enum CdgVerdict {
+    /// No cycle: the routed fabric is deadlock-free.
+    Acyclic(CdgReport),
+    /// A dependency cycle: the channels in order, with the first repeated
+    /// at the end to close the loop.
+    Cycle(Vec<Channel>),
+}
+
+impl CdgVerdict {
+    /// The report, or a panic describing the cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the verdict is a cycle.
+    pub fn expect_acyclic(self) -> CdgReport {
+        match self {
+            CdgVerdict::Acyclic(r) => r,
+            CdgVerdict::Cycle(c) => panic!("{}", describe_cycle(&c)),
+        }
+    }
+
+    /// The cycle, or `None` when acyclic.
+    pub fn cycle(self) -> Option<Vec<Channel>> {
+        match self {
+            CdgVerdict::Acyclic(_) => None,
+            CdgVerdict::Cycle(c) => Some(c),
+        }
+    }
+}
+
+/// Render a cycle for humans, one channel per line.
+pub fn describe_cycle(cycle: &[Channel]) -> String {
+    let mut s = String::from("channel dependency cycle:");
+    for c in cycle {
+        s.push_str(&format!(
+            "\n  {} -> {} vc{} [{:?}]",
+            c.from.index(),
+            c.to.index(),
+            c.vc,
+            c.class
+        ));
+    }
+    s
+}
+
+impl Cdg {
+    /// Build the full CDG from per-pair hop sequences (class-less escape
+    /// paths; each is replicated across every coherence class lane).
+    pub fn build(paths: &[Vec<EscapeChannel>]) -> Cdg {
+        // Per-node sets of first hops out of it and last hops into it,
+        // for the protocol edges.
+        let mut first_from: BTreeMap<NodeId, BTreeSet<EscapeChannel>> = BTreeMap::new();
+        let mut last_into: BTreeMap<NodeId, BTreeSet<EscapeChannel>> = BTreeMap::new();
+        let mut vertices: BTreeSet<Channel> = BTreeSet::new();
+        for path in paths {
+            let (Some(first), Some(last)) = (path.first(), path.last()) else {
+                continue; // src == dst: no fabric hops
+            };
+            first_from.entry(first.from).or_default().insert(*first);
+            last_into.entry(last.to).or_default().insert(*last);
+            for class in MessageClass::ALL {
+                for hop in path {
+                    vertices.insert(lane(*hop, class));
+                }
+            }
+        }
+        let channels: Vec<Channel> = vertices.iter().copied().collect();
+        let id: BTreeMap<Channel, usize> =
+            channels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); channels.len()];
+        // Routing edges: consecutive hops of every path, per class lane.
+        for path in paths {
+            for pair in path.windows(2) {
+                for class in MessageClass::ALL {
+                    adj[id[&lane(pair[0], class)]].insert(id[&lane(pair[1], class)]);
+                }
+            }
+        }
+        // Protocol edges: last hop of a c-route into v depends on first
+        // hops of c'-routes out of v, for c' generated by c. Io's
+        // self-generation is excluded (endpoint-sink assumption, see the
+        // module docs) — which `c != c'` covers, since no other class
+        // generates itself.
+        for (&v, lasts) in &last_into {
+            let Some(firsts) = first_from.get(&v) else {
+                continue;
+            };
+            for c in MessageClass::ALL {
+                for &c2 in c.may_generate() {
+                    if c2 == c {
+                        continue;
+                    }
+                    for &l in lasts {
+                        for &f in firsts {
+                            adj[id[&lane(l, c)]].insert(id[&lane(f, c2)]);
+                        }
+                    }
+                }
+            }
+        }
+        Cdg { channels, adj }
+    }
+
+    /// Number of vertices.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Search for a dependency cycle (iterative DFS, deterministic order).
+    pub fn verdict(&self) -> CdgVerdict {
+        let n = self.channels.len();
+        let mut color = vec![0u8; n]; // 0 white, 1 on stack, 2 done
+                                      // Edges materialized once so the DFS stack stays index-based.
+        let out: Vec<Vec<usize>> = self
+            .adj
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        for start in 0..n {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = 1;
+            while let Some(&(u, i)) = stack.last() {
+                if i < out[u].len() {
+                    stack.last_mut().expect("stack non-empty").1 += 1;
+                    let v = out[u][i];
+                    match color[v] {
+                        0 => {
+                            color[v] = 1;
+                            stack.push((v, 0));
+                        }
+                        1 => {
+                            let pos = stack
+                                .iter()
+                                .position(|&(w, _)| w == v)
+                                .expect("grey vertex is on the stack");
+                            let mut cycle: Vec<Channel> = stack[pos..]
+                                .iter()
+                                .map(|&(w, _)| self.channels[w])
+                                .collect();
+                            cycle.push(self.channels[v]);
+                            return CdgVerdict::Cycle(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        CdgVerdict::Acyclic(CdgReport {
+            channels: self.channel_count(),
+            edges: self.edge_count(),
+        })
+    }
+}
+
+fn lane(hop: EscapeChannel, class: MessageClass) -> Channel {
+    Channel {
+        from: hop.from,
+        to: hop.to,
+        vc: hop.vc,
+        class,
+    }
+}
+
+/// The CDG of the healthy `cols`×`rows` torus under dimension-order escape
+/// routing, with or without the dateline VCs.
+pub fn healthy_torus(cols: usize, rows: usize, dateline_vcs: bool) -> Cdg {
+    let torus = Torus2D::new(cols, rows);
+    let n = torus.node_count();
+    let mut paths = Vec::with_capacity(n * n);
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                paths.push(escape_path(
+                    &torus,
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    dateline_vcs,
+                ));
+            }
+        }
+    }
+    Cdg::build(&paths)
+}
+
+/// The CDG of an arbitrary connected topology under up*/down* escape
+/// routing (the degraded-fabric fallback).
+pub fn degraded<T: Topology + ?Sized>(topo: &T) -> Result<Cdg, UpDownError> {
+    let routes = UpDownRoutes::compute(topo)?;
+    Ok(Cdg::build(&routes.all_pairs(topo)))
+}
+
+/// Every undirected link of `topo`, as `(low, high)` pairs in ascending
+/// order — the enumeration the cut sweeps iterate over.
+pub fn undirected_links<T: Topology + ?Sized>(topo: &T) -> Vec<(NodeId, NodeId)> {
+    let mut links = BTreeSet::new();
+    for n in 0..topo.node_count() {
+        let a = NodeId::new(n);
+        for p in topo.ports(a) {
+            let (lo, hi) = if a <= p.to { (a, p.to) } else { (p.to, a) };
+            links.insert((lo, hi));
+        }
+    }
+    links.into_iter().collect()
+}
+
+/// Aggregate outcome of a cut sweep: every configuration verified acyclic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SweepSummary {
+    /// Degraded configurations verified.
+    pub configs: usize,
+    /// Configurations skipped because the cuts disconnected the fabric
+    /// (always 0 on a torus with at most two cuts; kept as a guard).
+    pub disconnected: usize,
+    /// Largest CDG vertex count across configurations.
+    pub max_channels: usize,
+    /// Largest CDG edge count across configurations.
+    pub max_edges: usize,
+}
+
+fn verify_cuts(
+    cols: usize,
+    rows: usize,
+    cuts: &[(NodeId, NodeId)],
+    summary: &mut SweepSummary,
+) -> Result<(), String> {
+    let deg = Degraded::new(Torus2D::new(cols, rows), cuts);
+    if !DistanceMatrix::compute(&deg).is_connected() {
+        summary.disconnected += 1;
+        return Ok(());
+    }
+    let cdg = degraded(&deg).map_err(|e| format!("cuts {cuts:?}: {e:?}"))?;
+    match cdg.verdict() {
+        CdgVerdict::Acyclic(r) => {
+            summary.configs += 1;
+            summary.max_channels = summary.max_channels.max(r.channels);
+            summary.max_edges = summary.max_edges.max(r.edges);
+            Ok(())
+        }
+        CdgVerdict::Cycle(c) => Err(format!("cuts {cuts:?}: {}", describe_cycle(&c))),
+    }
+}
+
+/// Verify every single-link-cut degradation of the `cols`×`rows` torus.
+pub fn sweep_single_cuts(cols: usize, rows: usize) -> Result<SweepSummary, String> {
+    let links = undirected_links(&Torus2D::new(cols, rows));
+    let mut summary = SweepSummary {
+        configs: 0,
+        disconnected: 0,
+        max_channels: 0,
+        max_edges: 0,
+    };
+    for &cut in &links {
+        verify_cuts(cols, rows, &[cut], &mut summary)?;
+    }
+    Ok(summary)
+}
+
+/// Verify every double-link-cut degradation of the `cols`×`rows` torus.
+pub fn sweep_double_cuts(cols: usize, rows: usize) -> Result<SweepSummary, String> {
+    let links = undirected_links(&Torus2D::new(cols, rows));
+    let mut summary = SweepSummary {
+        configs: 0,
+        disconnected: 0,
+        max_channels: 0,
+        max_edges: 0,
+    };
+    for i in 0..links.len() {
+        for j in (i + 1)..links.len() {
+            verify_cuts(cols, rows, &[links[i], links[j]], &mut summary)?;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_torus_with_datelines_is_acyclic() {
+        let r = healthy_torus(4, 4, true).verdict().expect_acyclic();
+        // Every directed link (16 nodes × 4 ports) carries VC0 traffic in
+        // all 5 class lanes; the VC1 copies exist only where some path
+        // actually crosses a dateline first.
+        let vc0_floor = 16 * 4 * 5;
+        assert!(
+            (vc0_floor..=2 * vc0_floor).contains(&r.channels),
+            "channels = {}",
+            r.channels
+        );
+        assert!(r.edges > r.channels);
+    }
+
+    #[test]
+    fn single_vc_torus_has_a_real_reported_cycle() {
+        let cdg = healthy_torus(4, 4, false);
+        let cycle = cdg.verdict().cycle().expect("wrap rings must cycle");
+        assert!(cycle.len() >= 3, "{}", describe_cycle(&cycle));
+        assert_eq!(
+            cycle.first(),
+            cycle.last(),
+            "cycle must close on its first channel"
+        );
+        // Every consecutive pair must be a genuine dependency: same class
+        // lane, linked head-to-tail through a node or a protocol turn.
+        for pair in cycle.windows(2) {
+            assert!(
+                pair[0].to == pair[1].from,
+                "consecutive cycle channels must chain through a node: {}",
+                describe_cycle(&cycle)
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_cut_of_the_4x4_torus_is_deadlock_free() {
+        let s = sweep_single_cuts(4, 4).expect("all single cuts acyclic");
+        assert_eq!(s.configs, 32, "4x4 torus has 32 undirected links");
+        assert_eq!(s.disconnected, 0);
+        assert!(s.max_channels > 0 && s.max_edges > 0);
+    }
+
+    #[test]
+    fn double_cut_sweep_covers_every_pair_on_a_small_torus() {
+        let s = sweep_double_cuts(3, 3).expect("all double cuts acyclic");
+        // 3x3 torus: 18 undirected links, C(18,2) pairs, none disconnecting.
+        assert_eq!(s.configs + s.disconnected, 18 * 17 / 2);
+        assert_eq!(s.disconnected, 0);
+    }
+
+    #[test]
+    fn undirected_link_enumeration_matches_the_torus() {
+        let t = Torus2D::new(4, 4);
+        let links = undirected_links(&t);
+        assert_eq!(links.len(), t.link_count() / 2);
+        assert!(links.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+    }
+}

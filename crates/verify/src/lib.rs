@@ -1,0 +1,63 @@
+//! Static verification of the GS1280 reproduction.
+//!
+//! Three analyses, all wired into CI:
+//!
+//! * [`mc`] + [`protocol`] — an explicit-state **model checker**: a generic
+//!   BFS kernel driven by a transition relation extracted from
+//!   `alphasim-coherence` (the real [`Directory`] runs inside every
+//!   transition). It exhaustively enumerates the reachable space of
+//!   (directory line state × in-flight transactions × timeout/NAK/poison
+//!   states) for 2–4 CPUs, checks safety (exactly one exclusive owner, no
+//!   stale sharer survives a write, poison never leaves a pending entry)
+//!   and progress (every reachable state has an enabled transition; retry
+//!   backoff saturates at its cap), and prints a minimal-length
+//!   counterexample trace on violation.
+//! * [`cdg`] — a **channel-dependency-graph analyzer** generalizing the
+//!   in-crate `escape_network_is_acyclic` spot check: the full CDG over
+//!   (directed link × dateline VC × coherence class), including the
+//!   cross-class edges of `MessageClass::may_generate`, verified acyclic on
+//!   the healthy torus *and* under every degraded topology the fault
+//!   campaigns produce (single and double link cuts, routed up*/down*),
+//!   reporting the offending cycle otherwise.
+//! * [`lint`] — a **determinism lint** over the workspace sources: flags
+//!   reproducibility hazards (hash-ordered containers, wall-clock reads,
+//!   ambient RNG, truncating casts in timing arithmetic) outside test code,
+//!   with `// lint-allow: <rule>` escape comments for the audited
+//!   exceptions. `cargo run -p verify --bin lint` exits non-zero on any
+//!   unexplained finding.
+//!
+//! The `report` binary regenerates `results/verify.json` (state counts per
+//! configuration, CDG sweep summaries, lint totals) deterministically;
+//! `--check` asserts the committed artifact is byte-identical.
+//!
+//! [`Directory`]: alphasim_coherence::Directory
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod cdg;
+pub mod lint;
+pub mod mc;
+pub mod protocol;
+pub mod report;
+
+pub use cdg::{Cdg, CdgVerdict, Channel, SweepSummary};
+pub use lint::{scan_workspace, Finding};
+pub use mc::{check, Counterexample, Exploration, Model, Verdict};
+pub use protocol::{backoff_saturates, Mutation, ProtocolModel};
+
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved from this crate's manifest directory.
+///
+/// # Panics
+///
+/// Panics if the crate is somehow not two levels below the workspace root.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/verify sits two levels below the workspace root")
+        .to_path_buf()
+}

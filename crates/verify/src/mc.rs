@@ -1,0 +1,283 @@
+//! A small generic explicit-state model checker.
+//!
+//! [`check`] breadth-first enumerates every state reachable from a
+//! [`Model`]'s initial state, deduplicating states in an ordered set (so
+//! exploration order — and therefore every reported count — is
+//! deterministic), checking the model's safety invariants on each state as
+//! it is discovered, and requiring progress: a reachable state with no
+//! enabled action is reported as a deadlock unless the model declares it
+//! terminal.
+//!
+//! Because the search is breadth-first, the counterexample reconstructed
+//! from the predecessor table on a violation is a *minimal-length* trace:
+//! no shorter action sequence reaches any violating state.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+/// A finite-state transition system with checkable invariants.
+pub trait Model {
+    /// A full system state. `Ord` supplies the deterministic dedup order.
+    type State: Clone + Ord + Debug;
+    /// One enabled transition out of a state.
+    type Action: Clone + Debug;
+
+    /// The single initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Every action enabled in `state`, in a deterministic order.
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// The successor of `state` under `action`.
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// Check every safety invariant of `state`; `Err` names the violated
+    /// invariant.
+    fn invariants(&self, state: &Self::State) -> Result<(), String>;
+
+    /// Whether `state` is allowed to have no enabled actions. The default
+    /// (`false`) makes the checker treat any quiescent state as a deadlock.
+    fn is_terminal(&self, _state: &Self::State) -> bool {
+        false
+    }
+}
+
+/// Aggregate counts from an exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Exploration {
+    /// Distinct reachable states.
+    pub states: usize,
+    /// Transitions traversed (including those leading to known states).
+    pub transitions: usize,
+    /// Longest shortest-path distance from the initial state.
+    pub depth: usize,
+}
+
+/// A minimal-length trace from the initial state to a violating state.
+#[derive(Debug, Clone)]
+pub struct Counterexample<M: Model> {
+    /// The violated invariant (or deadlock description).
+    pub invariant: String,
+    /// The initial state.
+    pub initial: M::State,
+    /// The actions taken and the states they produced, in order; the last
+    /// state is the violating one.
+    pub steps: Vec<(M::Action, M::State)>,
+}
+
+impl<M: Model> Counterexample<M> {
+    /// Render the trace for humans: the violated invariant, then each
+    /// action and resulting state on its own line.
+    pub fn describe(&self) -> String {
+        let mut s = format!("violated: {}\n  start: {:?}", self.invariant, self.initial);
+        for (i, (action, state)) in self.steps.iter().enumerate() {
+            let _ = write!(s, "\n  {:>2}. {:?} -> {:?}", i + 1, action, state);
+        }
+        s
+    }
+}
+
+/// The outcome of [`check`].
+#[derive(Debug, Clone)]
+pub enum Verdict<M: Model> {
+    /// Every reachable state satisfies every invariant and has a successor.
+    Pass(Exploration),
+    /// Some reachable state violates an invariant (or deadlocks); the
+    /// counterexample is minimal-length.
+    Violated(Counterexample<M>),
+}
+
+impl<M: Model> Verdict<M> {
+    /// The exploration counts, or a panic with the rendered counterexample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the verdict is a violation.
+    pub fn expect_pass(self) -> Exploration {
+        match self {
+            Verdict::Pass(e) => e,
+            Verdict::Violated(cex) => panic!("model checking failed:\n{}", cex.describe()),
+        }
+    }
+
+    /// The counterexample, or `None` on a pass.
+    pub fn violation(self) -> Option<Counterexample<M>> {
+        match self {
+            Verdict::Pass(_) => None,
+            Verdict::Violated(cex) => Some(cex),
+        }
+    }
+}
+
+/// Exhaustively explore `model` from its initial state.
+///
+/// # Panics
+///
+/// Panics if more than `max_states` distinct states are discovered — the
+/// caller sized the configuration wrongly, and a truncated exploration must
+/// never masquerade as a proof.
+pub fn check<M: Model>(model: &M, max_states: usize) -> Verdict<M> {
+    let initial = model.initial();
+    let mut states: Vec<M::State> = vec![initial.clone()];
+    let mut index: BTreeMap<M::State, usize> = BTreeMap::from([(initial.clone(), 0)]);
+    // parent[i] = (predecessor index, action that produced state i).
+    let mut parent: Vec<Option<(usize, M::Action)>> = vec![None];
+    let mut depth: Vec<usize> = vec![0];
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut transitions = 0usize;
+    let mut max_depth = 0usize;
+
+    let trace = |parent: &[Option<(usize, M::Action)>],
+                 states: &[M::State],
+                 mut at: usize,
+                 invariant: String| {
+        let mut steps = Vec::new();
+        while let Some((prev, action)) = &parent[at] {
+            steps.push((action.clone(), states[at].clone()));
+            at = *prev;
+        }
+        steps.reverse();
+        Counterexample {
+            invariant,
+            initial: states[0].clone(),
+            steps,
+        }
+    };
+
+    if let Err(why) = model.invariants(&initial) {
+        return Verdict::Violated(trace(&parent, &states, 0, why));
+    }
+
+    while let Some(at) = queue.pop_front() {
+        let actions = model.actions(&states[at]);
+        if actions.is_empty() && !model.is_terminal(&states[at]) {
+            return Verdict::Violated(trace(
+                &parent,
+                &states,
+                at,
+                "progress: state has no enabled transition".to_string(),
+            ));
+        }
+        for action in actions {
+            transitions += 1;
+            let next = model.apply(&states[at], &action);
+            if let Some(&_known) = index.get(&next) {
+                continue;
+            }
+            let id = states.len();
+            assert!(
+                id < max_states,
+                "state space exceeded the {max_states}-state bound"
+            );
+            index.insert(next.clone(), id);
+            states.push(next);
+            parent.push(Some((at, action)));
+            depth.push(depth[at] + 1);
+            max_depth = max_depth.max(depth[id]);
+            if let Err(why) = model.invariants(&states[id]) {
+                return Verdict::Violated(trace(&parent, &states, id, why));
+            }
+            queue.push_back(id);
+        }
+    }
+
+    Verdict::Pass(Exploration {
+        states: states.len(),
+        transitions,
+        depth: max_depth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that wraps at `modulus`; "violating" values are reported,
+    /// and `stuck_at` (if any) has no successors.
+    struct Counter {
+        modulus: u32,
+        violate_at: Option<u32>,
+        stuck_at: Option<u32>,
+    }
+
+    impl Model for Counter {
+        type State = u32;
+        type Action = char;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn actions(&self, s: &u32) -> Vec<char> {
+            if Some(*s) == self.stuck_at {
+                Vec::new()
+            } else {
+                vec!['+']
+            }
+        }
+
+        fn apply(&self, s: &u32, _a: &char) -> u32 {
+            (s + 1) % self.modulus
+        }
+
+        fn invariants(&self, s: &u32) -> Result<(), String> {
+            if Some(*s) == self.violate_at {
+                Err(format!("counter reached {s}"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn counts_the_full_cycle() {
+        let m = Counter {
+            modulus: 17,
+            violate_at: None,
+            stuck_at: None,
+        };
+        let e = check(&m, 100).expect_pass();
+        assert_eq!(e.states, 17);
+        assert_eq!(e.transitions, 17);
+        assert_eq!(e.depth, 16);
+    }
+
+    #[test]
+    fn counterexample_is_minimal_and_ordered() {
+        let m = Counter {
+            modulus: 100,
+            violate_at: Some(5),
+            stuck_at: None,
+        };
+        let cex = check(&m, 1000).violation().expect("must violate");
+        assert_eq!(cex.steps.len(), 5, "BFS finds the shortest trace");
+        assert_eq!(cex.initial, 0);
+        assert_eq!(cex.steps.last().expect("non-empty").1, 5);
+        let text = cex.describe();
+        assert!(text.contains("counter reached 5"), "{text}");
+    }
+
+    #[test]
+    fn deadlock_is_reported_as_progress_violation() {
+        let m = Counter {
+            modulus: 10,
+            violate_at: None,
+            stuck_at: Some(3),
+        };
+        let cex = check(&m, 100).violation().expect("deadlocks at 3");
+        assert!(cex.invariant.contains("no enabled transition"));
+        assert_eq!(cex.steps.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "state space exceeded")]
+    fn bound_overflow_panics_rather_than_truncates() {
+        let m = Counter {
+            modulus: 1000,
+            violate_at: None,
+            stuck_at: None,
+        };
+        let _ = check(&m, 10);
+    }
+}

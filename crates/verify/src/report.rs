@@ -1,0 +1,214 @@
+//! The deterministic verification report behind `results/verify.json`.
+//!
+//! [`build`] runs every analysis at its pinned configuration and returns a
+//! plain serializable summary; [`to_json`] renders it with stable field
+//! order, so regenerating the artifact is byte-identical run to run. CI
+//! regenerates it with `cargo run --release -p verify --bin report --
+//! --check results/verify.json` and fails on any drift — state counts are
+//! a regression seed: a protocol change that adds or removes reachable
+//! states shows up as a diff here even when every invariant still holds.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+use crate::cdg::{self, CdgReport, CdgVerdict, SweepSummary};
+use crate::lint;
+use crate::mc::{check, Exploration};
+use crate::protocol::{backoff_saturates, Mutation, ProtocolModel};
+use alphasim_coherence::RetryPolicy;
+
+/// Model-checker result for one (cpus, max_retries) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// CPUs sharing the line.
+    pub cpus: usize,
+    /// Retries before poison.
+    pub max_retries: u8,
+    /// Exhaustive exploration counts.
+    pub exploration: Exploration,
+}
+
+/// Proof that a seeded protocol bug is caught.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationCatch {
+    /// Mutation id (see [`Mutation::id`]).
+    pub mutation: String,
+    /// The invariant the minimal counterexample violates.
+    pub invariant: String,
+    /// Length of the minimal trace.
+    pub trace_len: usize,
+}
+
+/// Model-checker section of the report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McSection {
+    /// Clean configurations, exhaustively enumerated.
+    pub configs: Vec<McConfig>,
+    /// Every seeded mutation, each caught with a minimal trace.
+    pub mutations_caught: Vec<MutationCatch>,
+    /// First retry attempt whose backoff sits at the cap (liveness: the
+    /// retry cadence is bounded).
+    pub backoff_cap_attempt: u32,
+}
+
+/// CDG-analyzer section of the report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CdgSection {
+    /// Full CDG of the healthy 8×8 torus (the GS1280 M64), acyclic.
+    pub healthy_8x8: CdgReport,
+    /// Cycle length found when the dateline VCs are removed — the analyzer
+    /// demonstrably detects the deadlock the VCs exist to break.
+    pub single_vc_8x8_cycle_len: usize,
+    /// Every single-link-cut degradation of the 8×8 torus, up*/down*
+    /// routed, each verified acyclic.
+    pub single_cuts_8x8: SweepSummary,
+    /// Every double-link-cut degradation of the 4×4 torus.
+    pub double_cuts_4x4: SweepSummary,
+}
+
+/// Determinism-lint section of the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintSection {
+    /// Source files scanned.
+    pub files: usize,
+    /// Findings silenced by audited `lint-allow` comments.
+    pub allowed: usize,
+    /// Unexplained findings (must be 0; the lint binary enforces it).
+    pub findings: usize,
+}
+
+/// The whole `results/verify.json` artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Explicit-state model checker.
+    pub model_checker: McSection,
+    /// Channel-dependency-graph analyzer.
+    pub cdg: CdgSection,
+    /// Determinism lint.
+    pub lint: LintSection,
+}
+
+/// The pinned clean configurations: exhaustive for 2–4 CPUs, with the
+/// retry bound tightened as the CPU count grows to keep the product space
+/// at regenerate-in-seconds scale.
+pub const MC_CONFIGS: [(usize, u8, usize); 3] = [(2, 2, 10_000), (3, 2, 60_000), (4, 1, 120_000)];
+
+/// Run every analysis at its pinned configuration.
+///
+/// # Panics
+///
+/// Panics if any analysis fails — a failing verification must never write
+/// an artifact.
+pub fn build(workspace_root: &Path) -> Report {
+    let configs = MC_CONFIGS
+        .map(|(cpus, max_retries, bound)| McConfig {
+            cpus,
+            max_retries,
+            exploration: check(&ProtocolModel::new(cpus, max_retries), bound).expect_pass(),
+        })
+        .to_vec();
+    let mutations_caught = Mutation::SEEDED
+        .map(|m| {
+            let cex = check(&ProtocolModel::mutated(2, 1, m), 100_000)
+                .violation()
+                .unwrap_or_else(|| panic!("seeded mutation {} must be caught", m.id()));
+            MutationCatch {
+                mutation: m.id().to_string(),
+                invariant: cex.invariant,
+                trace_len: cex.steps.len(),
+            }
+        })
+        .to_vec();
+    let backoff_cap_attempt =
+        backoff_saturates(&RetryPolicy::gs1280_default()).expect("backoff must saturate");
+
+    let healthy_8x8 = cdg::healthy_torus(8, 8, true).verdict().expect_acyclic();
+    let single_vc_8x8_cycle_len = match cdg::healthy_torus(8, 8, false).verdict() {
+        CdgVerdict::Cycle(c) => c.len(),
+        CdgVerdict::Acyclic(_) => panic!("single-VC torus must have a cycle"),
+    };
+    let single_cuts_8x8 = cdg::sweep_single_cuts(8, 8).expect("single cuts acyclic");
+    let double_cuts_4x4 = cdg::sweep_double_cuts(4, 4).expect("double cuts acyclic");
+
+    let scan = lint::scan_workspace(workspace_root).expect("workspace scans");
+
+    Report {
+        model_checker: McSection {
+            configs,
+            mutations_caught,
+            backoff_cap_attempt,
+        },
+        cdg: CdgSection {
+            healthy_8x8,
+            single_vc_8x8_cycle_len,
+            single_cuts_8x8,
+            double_cuts_4x4,
+        },
+        lint: LintSection {
+            files: scan.files,
+            allowed: scan.allowed,
+            findings: scan.findings.len(),
+        },
+    }
+}
+
+/// Render with stable field order and a trailing newline (the committed
+/// byte format).
+///
+/// # Panics
+///
+/// Panics if serialization fails (it cannot: the types are plain data).
+pub fn to_json(report: &Report) -> String {
+    let mut s = serde_json::to_string_pretty(report).expect("plain data serializes");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace_root;
+
+    /// Fast half of the regeneration gate: the committed artifact's
+    /// model-checker and lint sections match a fresh in-process run for the
+    /// small configurations. The full byte-identity check (including the
+    /// 8×8 sweeps) runs in CI via `--bin report -- --check`.
+    #[test]
+    fn committed_artifact_matches_recomputation() {
+        // The vendored serde subset serializes but does not parse, so the
+        // fast gate checks the committed text for the freshly recomputed
+        // values rather than deserializing it.
+        let path = workspace_root().join("results/verify.json");
+        let committed = std::fs::read_to_string(&path).expect("results/verify.json is committed");
+        for (cpus, max_retries, bound) in MC_CONFIGS.iter().take(2) {
+            let fresh = check(&ProtocolModel::new(*cpus, *max_retries), *bound).expect_pass();
+            for (key, val) in [
+                ("states", fresh.states),
+                ("transitions", fresh.transitions),
+                ("depth", fresh.depth),
+            ] {
+                assert!(
+                    committed.contains(&format!("\"{key}\": {val}")),
+                    "{cpus}-CPU {key} = {val} drifted from the committed artifact"
+                );
+            }
+        }
+        let scan = lint::scan_workspace(&workspace_root()).expect("workspace scans");
+        assert!(committed.contains("\"findings\": 0"));
+        assert!(committed.contains(&format!("\"files\": {}", scan.files)));
+        assert!(committed.contains(&format!("\"allowed\": {}", scan.allowed)));
+        for m in Mutation::SEEDED {
+            assert!(committed.contains(m.id()), "mutation {} missing", m.id());
+        }
+    }
+
+    /// Full regeneration is byte-identical. Slow in debug builds, so CI
+    /// exercises it through the release-mode `report --check` run instead.
+    #[test]
+    #[ignore = "slow in debug; CI runs the release --check equivalent"]
+    fn full_report_is_byte_identical() {
+        let path = workspace_root().join("results/verify.json");
+        let committed = std::fs::read_to_string(&path).expect("artifact is committed");
+        assert_eq!(to_json(&build(&workspace_root())), committed);
+    }
+}

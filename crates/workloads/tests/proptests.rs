@@ -1,5 +1,8 @@
 //! Property tests for the workload models.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim_workloads::spec::{MachinePerf, PhasePattern, SpecProfile, Suite};
 use alphasim_workloads::{Gups, GupsConfig, PointerChase, Stream, StreamKernel};
 use proptest::prelude::*;

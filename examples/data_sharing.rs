@@ -6,6 +6,9 @@
 //! cargo run --release --example data_sharing
 //! ```
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::cache::Addr;
 use alphasim::system::{CoherentMachine, Gs1280, Gs320};
 use alphasim::topology::NodeId;

@@ -6,6 +6,9 @@
 //! cargo run --release --example failure_injection
 //! ```
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::ablation;
 use alphasim::mem::ZboxConfig;
 use alphasim::topology::graph::DistanceMatrix;

@@ -6,6 +6,9 @@
 //! cargo run --release --example gups_scaling
 //! ```
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::apps;
 use alphasim::kernel::DetRng;
 use alphasim::workloads::{Gups, GupsConfig};

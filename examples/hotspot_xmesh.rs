@@ -6,6 +6,9 @@
 //! cargo run --release --example hotspot_xmesh
 //! ```
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::network;
 use alphasim::xmesh;
 

@@ -6,6 +6,9 @@
 //! cargo run --release --example latency_walk
 //! ```
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::memory::{fig05_strides, LatencyMachine};
 
 fn main() {

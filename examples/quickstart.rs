@@ -5,6 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::latency;
 use alphasim::system::{Gs1280, Gs320};
 use alphasim::topology::NodeId;

@@ -5,6 +5,9 @@
 //! cargo run --release --example shuffle_study
 //! ```
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::network;
 use alphasim::topology::table1::{table1, TABLE1_PAPER};
 

@@ -5,5 +5,6 @@
 //! [`alphasim`], the facade crate. Depend on `alphasim` directly in real use.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub use alphasim::*;

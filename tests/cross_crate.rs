@@ -1,6 +1,9 @@
 //! Cross-crate integration: the substrates agree with each other where
 //! they overlap.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::cache::Addr;
 use alphasim::coherence::{AccessKind, Directory, ServedBy};
 use alphasim::kernel::SimTime;

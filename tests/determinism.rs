@@ -2,6 +2,9 @@
 //! output across runs (the property that makes EXPERIMENTS.md's numbers
 //! reproducible on any machine).
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::{apps, latency, memory, network, spec, stream, summary};
 use alphasim::workloads::spec::Suite;
 

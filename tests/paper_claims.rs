@@ -1,6 +1,9 @@
 //! Integration tests asserting the paper's headline claims end-to-end,
 //! across all crates — the validation targets listed in DESIGN.md §5.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::{apps, latency, memory, network, spec, stream, summary};
 use alphasim::workloads::spec::Suite;
 

@@ -3,6 +3,9 @@
 //! calibration or model change moves one, this suite names it so
 //! EXPERIMENTS.md can be regenerated consciously rather than drifting.
 
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
 use alphasim::experiments::{latency, stream, summary};
 use alphasim::system::{Es45, Gs1280, Gs320};
 use alphasim::topology::table1::shuffle_gains;
