@@ -15,6 +15,7 @@
 //!   named causes instead of letting the run spin forever.
 
 use alphasim_kernel::{SimDuration, SimTime};
+use alphasim_telemetry::Registry;
 use std::collections::BTreeMap;
 
 /// When and how often a lost transaction is retried.
@@ -82,6 +83,9 @@ pub struct PendingSet {
     txs: BTreeMap<u64, PendingTx>,
     completed: u64,
     retries: u64,
+    /// Most transactions simultaneously outstanding (the occupancy the
+    /// paper's out-of-order window sizing bounds).
+    peak: usize,
 }
 
 impl PendingSet {
@@ -98,6 +102,7 @@ impl PendingSet {
     pub fn insert(&mut self, tag: u64, tx: PendingTx) {
         let prev = self.txs.insert(tag, tx);
         assert!(prev.is_none(), "tag {tag:#x} already outstanding");
+        self.peak = self.peak.max(self.txs.len());
     }
 
     /// Complete `tag`, returning its record — or `None` if it is unknown
@@ -167,6 +172,19 @@ impl PendingSet {
     /// Retries recorded so far.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Most transactions simultaneously outstanding so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Export this table's counters into a telemetry registry under the
+    /// `coherence.` namespace.
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        registry.counter_add("coherence.completed", self.completed);
+        registry.counter_add("coherence.retries", self.retries);
+        registry.gauge_max("coherence.pending_peak", self.peak as u64);
     }
 }
 
@@ -274,6 +292,12 @@ impl Watchdog {
     pub fn fired(&self) -> u64 {
         self.fired
     }
+
+    /// Export the firing count into a telemetry registry under the
+    /// `coherence.` namespace.
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        registry.counter_add("coherence.watchdog_fired", self.fired);
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +354,37 @@ mod tests {
         assert!(set.complete(7).is_none(), "duplicate response is ignored");
         assert_eq!(set.completed(), 1);
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn pending_set_peak_and_metric_export() {
+        let mut set = PendingSet::new();
+        let tx = PendingTx {
+            src: 1,
+            home: 2,
+            first_issued: t(0.0),
+            deadline: t(10.0),
+            attempts: 1,
+        };
+        set.insert(1, tx);
+        set.insert(2, tx);
+        set.insert(3, tx);
+        set.complete(1);
+        set.complete(2);
+        // Peak is a high-water mark: completions never lower it.
+        assert_eq!(set.peak(), 3);
+        set.insert(4, tx);
+        assert_eq!(set.peak(), 3, "re-filling below the peak keeps it");
+
+        let mut registry = Registry::default();
+        set.export_metrics(&mut registry);
+        assert_eq!(registry.counter("coherence.completed"), 2);
+        assert_eq!(registry.counter("coherence.retries"), 0);
+        assert_eq!(registry.gauge("coherence.pending_peak"), 3);
+
+        let dog = Watchdog::new(SimDuration::from_us(1.0));
+        dog.export_metrics(&mut registry);
+        assert_eq!(registry.counter("coherence.watchdog_fired"), 0);
     }
 
     #[test]

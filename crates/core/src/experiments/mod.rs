@@ -10,3 +10,4 @@ pub mod resilience;
 pub mod spec;
 pub mod stream;
 pub mod summary;
+pub mod telemetry;

@@ -16,8 +16,10 @@ use alphasim_kernel::par::parallel_map;
 use alphasim_kernel::{FaultKind, FaultPlan, SimDuration, SimTime};
 use alphasim_system::Gs1280;
 use alphasim_system::{
-    gs1280_fault_campaign, CampaignPattern, CampaignResult, FaultCampaignConfig,
+    gs1280_fault_campaign, CampaignPattern, CampaignResult, CampaignTelemetry, FabricTopo,
+    FaultCampaign, FaultCampaignConfig,
 };
+use alphasim_telemetry::Registry;
 use alphasim_topology::graph::DistanceMatrix;
 use alphasim_topology::{Degraded, NodeId, Torus2D};
 
@@ -59,9 +61,13 @@ fn assert_survivable(cpus: usize, cuts: &[(usize, usize)]) {
     );
 }
 
-/// One sweep point: run the bisection fault campaign on a `cpus`-node
-/// GS1280 with `failures` bisection links dying mid-run.
-pub fn campaign_at(cpus: usize, failures: usize, requests_per_cpu: usize) -> CampaignResult {
+/// The campaign and its configuration for one sweep point, shared by the
+/// plain and instrumented entry points.
+fn campaign_setup(
+    cpus: usize,
+    failures: usize,
+    requests_per_cpu: usize,
+) -> (FaultCampaign<FabricTopo>, FaultCampaignConfig) {
     let cuts = bisection_cuts(cpus, failures);
     assert_survivable(cpus, &cuts);
     let mut plan = FaultPlan::new();
@@ -72,7 +78,7 @@ pub fn campaign_at(cpus: usize, failures: usize, requests_per_cpu: usize) -> Cam
         plan.push(at, FaultKind::LinkDown { a, b });
     }
     let machine = Gs1280::builder().cpus(cpus).build();
-    gs1280_fault_campaign(&machine).run(&FaultCampaignConfig {
+    let cfg = FaultCampaignConfig {
         outstanding: 8,
         requests_per_cpu,
         pattern: CampaignPattern::Bisection,
@@ -90,7 +96,27 @@ pub fn campaign_at(cpus: usize, failures: usize, requests_per_cpu: usize) -> Cam
         },
         watchdog_window: SimDuration::from_us(250.0),
         ..Default::default()
-    })
+    };
+    (gs1280_fault_campaign(&machine), cfg)
+}
+
+/// One sweep point: run the bisection fault campaign on a `cpus`-node
+/// GS1280 with `failures` bisection links dying mid-run.
+pub fn campaign_at(cpus: usize, failures: usize, requests_per_cpu: usize) -> CampaignResult {
+    let (campaign, cfg) = campaign_setup(cpus, failures, requests_per_cpu);
+    campaign.run(&cfg)
+}
+
+/// [`campaign_at`] with telemetry collection (counters and the per-hop
+/// latency breakdown; no trace — sweeps with many points would produce
+/// one file each).
+pub fn campaign_at_instrumented(
+    cpus: usize,
+    failures: usize,
+    requests_per_cpu: usize,
+) -> (CampaignResult, CampaignTelemetry) {
+    let (campaign, cfg) = campaign_setup(cpus, failures, requests_per_cpu);
+    campaign.run_instrumented(&cfg, false)
 }
 
 /// The resilience artifact: bisection bandwidth, latency, and retries vs
@@ -100,6 +126,33 @@ pub fn resilience(cpus: usize, max_failures: usize, requests_per_cpu: usize) -> 
     let results = parallel_map((0..=max_failures).collect::<Vec<_>>(), move |k| {
         (k, campaign_at(cpus, k, requests_per_cpu))
     });
+    resilience_figure(cpus, &results)
+}
+
+/// [`resilience`] plus the sweep's merged telemetry registry: each point
+/// runs instrumented and the per-point registries are merged in input
+/// order, so the result is worker-count invariant. The figure itself is
+/// identical to [`resilience`]'s (instrumentation never perturbs the
+/// simulation).
+pub fn resilience_with_telemetry(
+    cpus: usize,
+    max_failures: usize,
+    requests_per_cpu: usize,
+) -> (Figure, Registry) {
+    let results = parallel_map((0..=max_failures).collect::<Vec<_>>(), move |k| {
+        let (r, t) = campaign_at_instrumented(cpus, k, requests_per_cpu);
+        (k, r, t)
+    });
+    let mut registry = Registry::default();
+    for (_, _, t) in &results {
+        registry.merge(&t.registry);
+    }
+    let points: Vec<(usize, CampaignResult)> =
+        results.into_iter().map(|(k, r, _)| (k, r)).collect();
+    (resilience_figure(cpus, &points), registry)
+}
+
+fn resilience_figure(cpus: usize, results: &[(usize, CampaignResult)]) -> Figure {
     let pairs = |f: &dyn Fn(&CampaignResult) -> f64| -> Vec<(f64, f64)> {
         results.iter().map(|(k, r)| (*k as f64, f(r))).collect()
     };
@@ -175,6 +228,19 @@ mod tests {
         // detours cost latency.
         assert!(wounded.delivered_gbps <= healthy.delivered_gbps * 1.02);
         assert!(wounded.p99_latency >= healthy.p99_latency);
+    }
+
+    #[test]
+    fn instrumented_sweep_matches_plain_figure_and_merges_counters() {
+        let plain = resilience(16, 1, 15);
+        let (fig, registry) = resilience_with_telemetry(16, 1, 15);
+        assert_eq!(plain, fig, "telemetry must not perturb the figure");
+        // Two sweep points of 16 CPUs x 15 reads each, merged.
+        assert_eq!(
+            registry.counter("coherence.completed") + registry.counter("campaign.poisoned"),
+            2 * 16 * 15
+        );
+        assert!(registry.counter("zbox.accesses") >= registry.counter("coherence.completed"));
     }
 
     #[test]

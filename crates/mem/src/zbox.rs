@@ -3,6 +3,7 @@
 use alphasim_cache::Addr;
 use alphasim_kernel::stats::UtilizationMeter;
 use alphasim_kernel::{SimDuration, SimTime};
+use alphasim_telemetry::{Log2Histogram, Registry};
 use serde::{Deserialize, Serialize};
 
 use crate::pages::OpenPageTable;
@@ -132,6 +133,9 @@ pub struct Zbox {
     /// the redundant channel absorbs the first, later failures shed
     /// bandwidth from every subsequent access.
     failed_channels: u32,
+    /// Distribution of queueing delays (nanoseconds) suffered before
+    /// service — the paper's Zbox-queueing contribution to load-to-use.
+    queue_delay_ns: Log2Histogram,
 }
 
 impl Zbox {
@@ -144,6 +148,7 @@ impl Zbox {
             meter: UtilizationMeter::new(),
             accesses: 0,
             failed_channels: 0,
+            queue_delay_ns: Log2Histogram::new(),
         }
     }
 
@@ -202,6 +207,8 @@ impl Zbox {
         self.meter.add_busy(occupancy);
         self.meter.add_bytes(bytes);
         self.accesses += 1;
+        self.queue_delay_ns
+            .record(started.since(now).as_ps() / 1_000);
         ZboxAccess {
             started,
             completed: started + dram,
@@ -242,6 +249,24 @@ impl Zbox {
         } else {
             self.pages.hits() as f64 / total as f64
         }
+    }
+
+    /// Distribution of queueing delays (in nanoseconds) suffered so far.
+    pub fn queue_delay_histogram(&self) -> &Log2Histogram {
+        &self.queue_delay_ns
+    }
+
+    /// Export this controller's counters into a telemetry registry under
+    /// the `zbox.` namespace. Counters add and histograms merge, so calling
+    /// this for every Zbox of a machine aggregates them deterministically.
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        registry.counter_add("zbox.accesses", self.accesses);
+        registry.counter_add("zbox.page_hits", self.pages.hits());
+        registry.counter_add("zbox.page_misses", self.pages.misses());
+        registry.counter_add("zbox.failed_channels", u64::from(self.failed_channels));
+        registry
+            .histogram_mut("zbox.queue_delay_ns")
+            .merge(&self.queue_delay_ns);
     }
 
     /// Reset counters and close all pages, keeping the configuration.
@@ -342,6 +367,30 @@ mod tests {
         z.reset();
         assert_eq!(z.accesses(), 0);
         assert_eq!(z.next_free(), SimTime::ZERO);
+        assert_eq!(z.queue_delay_histogram().count(), 0);
+    }
+
+    #[test]
+    fn queue_delay_histogram_and_metric_export() {
+        let mut z = Zbox::new(ZboxConfig::ev7());
+        // First access starts immediately (0 ns queue); the second queues
+        // behind it for the 64 B occupancy (~10.4 ns → log2 bucket [8, 15]).
+        let a = z.access(SimTime::ZERO, Addr::new(0), 64);
+        let b = z.access(SimTime::ZERO, Addr::new(64), 64);
+        assert_eq!(a.queue_delay(SimTime::ZERO), SimDuration::ZERO);
+        assert!(b.queue_delay(SimTime::ZERO) > SimDuration::ZERO);
+        let h = z.queue_delay_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket(0), 1, "one zero-delay access");
+        let mut reg = alphasim_telemetry::Registry::new();
+        z.export_metrics(&mut reg);
+        assert_eq!(reg.counter("zbox.accesses"), 2);
+        assert_eq!(
+            reg.counter("zbox.page_hits") + reg.counter("zbox.page_misses"),
+            2
+        );
+        let exported = reg.histogram("zbox.queue_delay_ns").expect("merged");
+        assert_eq!(exported.count(), 2);
     }
 
     #[test]

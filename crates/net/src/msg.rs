@@ -1,6 +1,7 @@
 //! Messages and coherence classes.
 
 use alphasim_kernel::SimTime;
+use alphasim_telemetry::HopBreakdown;
 use alphasim_topology::NodeId;
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +63,17 @@ impl MessageClass {
     pub fn may_route_adaptively(self) -> bool {
         !matches!(self, MessageClass::Io)
     }
+
+    /// Short display name, used as trace-event and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageClass::Io => "Io",
+            MessageClass::Request => "Request",
+            MessageClass::Forward => "Forward",
+            MessageClass::BlockResponse => "BlockResponse",
+            MessageClass::Special => "Special",
+        }
+    }
 }
 
 /// Identifier of an in-flight or delivered message.
@@ -100,6 +112,10 @@ pub struct Delivery {
     pub delivered_at: SimTime,
     /// Hops traversed.
     pub hops: u32,
+    /// Per-stage latency attribution accumulated over the route. For a
+    /// message never evicted off a failed link the stages sum exactly to
+    /// [`latency`](Self::latency) (integer picoseconds, no rounding).
+    pub breakdown: HopBreakdown,
 }
 
 impl Delivery {

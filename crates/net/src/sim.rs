@@ -1,6 +1,8 @@
 //! The message-level network simulator.
 
 use alphasim_kernel::{EventQueue, FaultKind, FaultPlan, SimDuration, SimTime};
+use alphasim_telemetry::trace::{PID_LINKS, PID_MESSAGES};
+use alphasim_telemetry::{HopBreakdown, TraceSink};
 use alphasim_topology::route::{RoutePolicy, Routes};
 use alphasim_topology::{Coord, NodeId, Port, Topology};
 
@@ -86,6 +88,12 @@ struct MsgState {
     /// Lost to a link failure; reported as [`Step::Dropped`] when its
     /// pending arrival fires, then recycled.
     dropped: bool,
+    /// When the message last joined an output queue (injection, a hop
+    /// arrival, or an eviction re-route): the epoch its next grant wait is
+    /// measured from.
+    enqueued_at: SimTime,
+    /// Per-stage latency attribution accumulated along the route.
+    acc: HopBreakdown,
 }
 
 #[derive(Debug)]
@@ -194,6 +202,9 @@ pub struct NetworkSim<T: Topology> {
     delivered: u64,
     dropped: u64,
     rerouted: u64,
+    /// Chrome-trace sink; `None` (the default) costs one never-taken branch
+    /// per hop and per delivery.
+    trace: Option<Box<TraceSink>>,
 }
 
 impl<T: Topology> NetworkSim<T> {
@@ -237,6 +248,7 @@ impl<T: Topology> NetworkSim<T> {
             delivered: 0,
             dropped: 0,
             rerouted: 0,
+            trace: None,
         }
     }
 
@@ -275,6 +287,46 @@ impl<T: Topology> NetworkSim<T> {
     /// Messages lost to link failures so far.
     pub fn dropped_count(&self) -> u64 {
         self.dropped
+    }
+
+    /// High-water mark of this simulator's own pending-event count (unlike
+    /// the process-wide gauge in `alphasim_kernel`, this is scoped to one
+    /// run and therefore deterministic under concurrent sweeps).
+    pub fn event_queue_peak(&self) -> usize {
+        self.events.peak_len()
+    }
+
+    /// Attach a Chrome-trace sink recording message lifetimes (one lane per
+    /// source node) and link occupancy (one lane per directed link).
+    /// Tracing changes nothing about the simulation itself — timestamps are
+    /// simulated time, so a traced run still reproduces byte-identically.
+    pub fn enable_trace(&mut self) {
+        let mut sink = TraceSink::new();
+        sink.name_process(PID_MESSAGES, "network: message lifetimes");
+        sink.name_process(PID_LINKS, "network: link occupancy");
+        for n in 0..self.topo.node_count() {
+            if self.topo.is_endpoint(NodeId::new(n)) {
+                let tid = n as u32;
+                sink.name_thread(PID_MESSAGES, tid, &format!("node {n}"));
+            }
+        }
+        self.trace = Some(Box::new(sink));
+    }
+
+    /// Detach and return the trace sink, if one was attached.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take().map(|b| *b)
+    }
+
+    /// Mutable access to the attached trace sink, so higher layers (memory
+    /// controllers, coherence) can add their own lanes to the same file.
+    pub fn trace_mut(&mut self) -> Option<&mut TraceSink> {
+        self.trace.as_deref_mut()
+    }
+
+    /// Whether a trace sink is attached.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Queued messages evicted from failing links and re-routed so far.
@@ -466,6 +518,8 @@ impl<T: Topology> NetworkSim<T> {
             hops: 0,
             serialized: false,
             dropped: false,
+            enqueued_at: at,
+            acc: HopBreakdown::default(),
         };
         let id = if let Some(slot) = self.free.pop() {
             self.msgs[slot as usize] = state;
@@ -515,7 +569,24 @@ impl<T: Topology> NetworkSim<T> {
                         injected_at: m.injected_at,
                         delivered_at: now,
                         hops: m.hops,
+                        breakdown: m.acc,
                     };
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        let tid = delivery.src.index() as u32;
+                        tr.complete(
+                            delivery.class.name(),
+                            "msg",
+                            PID_MESSAGES,
+                            tid,
+                            delivery.injected_at.as_ps(),
+                            delivery.latency().as_ps(),
+                            &[
+                                ("tag", delivery.tag),
+                                ("hops", u64::from(delivery.hops)),
+                                ("dst", delivery.dst.index() as u64),
+                            ],
+                        );
+                    }
                     self.free.push(msg.0);
                     return Some(Step::Delivered(delivery));
                 }
@@ -622,13 +693,37 @@ impl<T: Topology> NetworkSim<T> {
         let wire = self.timing.wire(self.links[link_id].class);
         let occupancy = transfer + penalty;
         m.hops += 1;
+        // Per-hop latency attribution. The arrival below fires at exactly
+        // grant + router + wire + serialization + penalty, so these integer
+        // picosecond charges sum to the end-to-end latency with no rounding.
+        // `enqueued_at` then moves to the arrival instant: the message joins
+        // its next output queue the moment it arrives, so the next hop's
+        // grant wait is measured from there (and an eviction re-route keeps
+        // accruing queue time against the same epoch).
+        m.acc.queued_ps += now.since(m.enqueued_at).as_ps();
+        m.acc.router_ps += self.timing.router_latency.as_ps();
+        m.acc.wire_ps += wire.as_ps();
+        m.acc.serialization_ps += serialization.as_ps();
+        m.acc.congestion_ps += penalty.as_ps();
+        let arrive_at = now + self.timing.router_latency + wire + serialization + penalty;
+        m.enqueued_at = arrive_at;
         let to = self.links[link_id].to;
-        let (class, bytes) = (m.class, m.bytes);
+        let (class, bytes, tag) = (m.class, m.bytes, m.tag);
         self.links[link_id].account(class, bytes, occupancy);
-        self.events.schedule(
-            now + self.timing.router_latency + wire + serialization + penalty,
-            Event::Arrive { msg, node: to },
-        );
+        if let Some(tr) = self.trace.as_deref_mut() {
+            let tid = link_id as u32;
+            tr.complete(
+                class.name(),
+                "link",
+                PID_LINKS,
+                tid,
+                now.as_ps(),
+                occupancy.as_ps(),
+                &[("tag", tag), ("backlog", u64::from(backlog))],
+            );
+        }
+        self.events
+            .schedule(arrive_at, Event::Arrive { msg, node: to });
         self.events
             .schedule(now + occupancy, Event::LinkFree { link: link_id });
     }
@@ -1318,5 +1413,144 @@ mod tests {
         let vert = net.mean_utilization_where(|d| d.is_some_and(|d| !d.is_horizontal()));
         assert!(horiz > vert, "horiz {horiz} vert {vert}");
         assert_eq!(vert, 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_exactly_to_latency_under_congestion() {
+        // Heavy contended traffic: every delivery's per-stage attribution
+        // must sum to its end-to-end latency in integer picoseconds — the
+        // identity the fig06 decomposition rests on.
+        let mut net = sim4x4();
+        let mut rng = DetRng::seeded(3);
+        for i in 0..300u64 {
+            let src = rng.index(16);
+            let dst = rng.index_excluding(16, src);
+            net.send(
+                SimTime::from_ps(i * 500),
+                NodeId::new(src),
+                NodeId::new(dst),
+                MessageClass::Request,
+                64,
+                i,
+            );
+        }
+        let deliveries = net.drain_deliveries();
+        assert_eq!(deliveries.len(), 300);
+        let mut congested = 0;
+        for d in &deliveries {
+            assert_eq!(
+                d.breakdown.total_ps(),
+                d.latency().as_ps(),
+                "stages must sum exactly for tag {}",
+                d.tag
+            );
+            if d.breakdown.queued_ps > 0 || d.breakdown.congestion_ps > 0 {
+                congested += 1;
+            }
+        }
+        assert!(
+            congested > 0,
+            "the flood must exercise queue/congestion stages"
+        );
+    }
+
+    #[test]
+    fn self_send_breakdown_is_all_zero() {
+        let mut net = sim4x4();
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(3),
+            NodeId::new(3),
+            MessageClass::Special,
+            8,
+            42,
+        );
+        let d = net.drain_deliveries();
+        assert_eq!(d[0].breakdown, Default::default());
+        assert_eq!(d[0].breakdown.total_ps(), 0);
+    }
+
+    #[test]
+    fn breakdown_identity_survives_eviction_reroute() {
+        // Cut a loaded link mid-run; evicted messages are re-routed, and the
+        // time stranded on the dead link's queue must land in `queued_ps` so
+        // the identity still holds exactly.
+        let mut net = sim4x4();
+        for i in 0..30 {
+            net.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageClass::Io,
+                64,
+                i,
+            );
+        }
+        let mut steps = 0;
+        let mut deliveries = Vec::new();
+        while let Some(step) = net.step() {
+            steps += 1;
+            if steps == 5 {
+                net.fail_link(NodeId::new(0), NodeId::new(1)).unwrap();
+            }
+            if let Step::Delivered(d) = step {
+                deliveries.push(d);
+            }
+        }
+        assert_eq!(deliveries.len(), 30);
+        assert!(net.rerouted_count() > 0);
+        for d in &deliveries {
+            assert_eq!(d.breakdown.total_ps(), d.latency().as_ps(), "tag {}", d.tag);
+        }
+    }
+
+    #[test]
+    fn trace_records_message_and_link_lanes() {
+        let mut net = sim4x4();
+        assert!(!net.trace_enabled());
+        net.enable_trace();
+        assert!(net.trace_enabled());
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(5),
+            MessageClass::Request,
+            16,
+            7,
+        );
+        net.drain();
+        let trace = net.take_trace().expect("sink was attached");
+        assert!(!net.trace_enabled());
+        // One lifetime event plus one occupancy event per hop (two hops).
+        assert_eq!(trace.len(), 3);
+        let body = trace.to_json_string();
+        assert!(body.contains("\"Request\""), "{body}");
+        assert!(body.contains("network: link occupancy"), "{body}");
+        assert!(body.contains("\"tag\":7"), "{body}");
+    }
+
+    #[test]
+    fn tracing_does_not_change_delivery_results() {
+        let run = |traced: bool| {
+            let mut net = sim4x4();
+            if traced {
+                net.enable_trace();
+            }
+            let mut rng = DetRng::seeded(5);
+            for i in 0..100u64 {
+                let src = rng.index(16);
+                let dst = rng.index_excluding(16, src);
+                net.send(
+                    SimTime::from_ps(i * 800),
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    MessageClass::Request,
+                    32,
+                    i,
+                );
+            }
+            net.drain_deliveries()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,24 +1,21 @@
 //! A deterministic future-event list.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use alphasim_telemetry::global::EVENT_QUEUE_PEAK;
 
 use crate::time::SimTime;
 
-/// High-water mark of pending events across every [`EventQueue`] in the
-/// process, flushed from per-queue counters when a queue is dropped or
-/// cleared. Read by the reproduction driver for `BENCH_sweep.json`.
-static GLOBAL_PEAK_DEPTH: AtomicU64 = AtomicU64::new(0);
-
 /// The deepest any event queue in this process has been since the last
 /// [`take_peak_event_depth`] call (live queues contribute when dropped or
-/// cleared).
+/// cleared). Backed by the telemetry registry's process-wide gauge
+/// [`alphasim_telemetry::global::EVENT_QUEUE_PEAK`]; read by the
+/// reproduction driver for `BENCH_sweep.json`.
 pub fn peak_event_depth() -> u64 {
-    GLOBAL_PEAK_DEPTH.load(Ordering::Relaxed)
+    EVENT_QUEUE_PEAK.get()
 }
 
 /// Read and reset the process-wide peak event-queue depth.
 pub fn take_peak_event_depth() -> u64 {
-    GLOBAL_PEAK_DEPTH.swap(0, Ordering::Relaxed)
+    EVENT_QUEUE_PEAK.take()
 }
 
 /// The heap's order: the event's time and insertion sequence packed into
@@ -205,11 +202,11 @@ impl<E> EventQueue<E> {
         self.peak_len
     }
 
-    /// Publish this queue's high-water mark to the process-wide gauge and
-    /// reset the local counter.
+    /// Publish this queue's high-water mark to the process-wide telemetry
+    /// gauge and reset the local counter.
     fn flush_peak(&mut self) {
         if self.peak_len > 0 {
-            GLOBAL_PEAK_DEPTH.fetch_max(self.peak_len as u64, Ordering::Relaxed);
+            EVENT_QUEUE_PEAK.record_max(self.peak_len as u64);
             self.peak_len = 0;
         }
     }

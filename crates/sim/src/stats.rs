@@ -8,6 +8,80 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
 
+/// Mean and p99 of a stream of durations.
+///
+/// The mean streams (running sum); p99 is the nearest-rank-below quantile
+/// `sorted[(n - 1) * 99 / 100]`, which needs the sample order, so samples
+/// are kept and sorted once when the accumulator is consumed by
+/// [`finish`](Self::finish). This is the one shared implementation behind
+/// every latency summary — the fault-campaign resilience sweep and the
+/// telemetry experiment both report exactly these two numbers.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_kernel::stats::MeanP99;
+/// use alphasim_kernel::SimDuration;
+///
+/// let mut q = MeanP99::new();
+/// for ns in [10.0, 20.0, 30.0] {
+///     q.record(SimDuration::from_ns(ns));
+/// }
+/// let (mean, p99) = q.finish();
+/// assert_eq!(mean, SimDuration::from_ns(20.0));
+/// assert_eq!(p99, SimDuration::from_ns(20.0)); // rank (3-1)*99/100 = 1
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MeanP99 {
+    samples: Vec<SimDuration>,
+}
+
+impl MeanP99 {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty accumulator with room for `cap` samples.
+    pub fn with_capacity(cap: usize) -> Self {
+        MeanP99 {
+            samples: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Consume the accumulator, returning `(mean, p99)` — both
+    /// [`SimDuration::ZERO`] when empty.
+    pub fn finish(mut self) -> (SimDuration, SimDuration) {
+        self.samples.sort_unstable();
+        let mean = if self.samples.is_empty() {
+            SimDuration::ZERO
+        } else {
+            self.samples.iter().copied().sum::<SimDuration>() / self.samples.len() as u64
+        };
+        let p99 = self
+            .samples
+            .get(self.samples.len().saturating_sub(1) * 99 / 100)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        (mean, p99)
+    }
+}
+
 /// Running mean / min / max / variance over a stream of samples
 /// (Welford's algorithm; no sample storage).
 ///
@@ -350,6 +424,35 @@ impl TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mean_p99_empty_is_zero() {
+        let q = MeanP99::new();
+        assert!(q.is_empty());
+        assert_eq!(q.finish(), (SimDuration::ZERO, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn mean_p99_matches_sort_based_reference() {
+        // The nearest-rank-below rule the resilience sweep has always used:
+        // sorted[(n - 1) * 99 / 100].
+        let mut q = MeanP99::with_capacity(200);
+        let mut reference: Vec<SimDuration> = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..200 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let d = SimDuration::from_ps(x % 1_000_000);
+            q.record(d);
+            reference.push(d);
+        }
+        assert_eq!(q.count(), 200);
+        reference.sort_unstable();
+        let want_mean = reference.iter().copied().sum::<SimDuration>() / reference.len() as u64;
+        let want_p99 = reference[(reference.len() - 1) * 99 / 100];
+        assert_eq!(q.finish(), (want_mean, want_p99));
+    }
 
     #[test]
     fn running_stats_mean_and_variance() {

@@ -12,10 +12,14 @@
 
 use alphasim_cache::Addr;
 use alphasim_coherence::{LivelockReport, PendingSet, PendingTx, RetryPolicy, Watchdog};
+use alphasim_kernel::stats::MeanP99;
 use alphasim_kernel::{DetRng, FaultKind, FaultPlan, SimDuration, SimTime};
-use alphasim_mem::{Zbox, ZboxConfig};
-use alphasim_net::{MessageClass, NetworkSim, Step};
+use alphasim_mem::{Zbox, ZboxAccess, ZboxConfig};
+use alphasim_net::{Delivery, MessageClass, NetworkSim, Step};
+use alphasim_telemetry::trace::PID_MEMORY;
+use alphasim_telemetry::{BreakdownTable, HopBreakdown, Registry, TraceSink};
 use alphasim_topology::{NodeId, Topology};
+use std::collections::BTreeMap;
 
 /// Reserved timer tag for the watchdog tick (request tags are
 /// `cpu << 32 | seq` and can never collide with it).
@@ -118,6 +122,142 @@ pub struct CampaignResult {
     pub elapsed: SimDuration,
 }
 
+/// Telemetry gathered by an instrumented campaign run
+/// ([`FaultCampaign::run_instrumented`]): the component counters, the
+/// per-hop latency breakdown, and (when requested) the Chrome trace.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignTelemetry {
+    /// Component counters, gauges, and histograms (coherence retry
+    /// machinery, Zbox page behaviour, network drop/reroute counts).
+    pub registry: Registry,
+    /// Where every picosecond of load-to-use latency went, stage by stage.
+    pub breakdown: BreakdownTable,
+    /// Chrome-trace sink, present when tracing was enabled.
+    pub trace: Option<TraceSink>,
+}
+
+/// Stage names of the load-to-use pipeline, in pipeline order. The
+/// collector pre-charges all of them with zero so the breakdown table's
+/// row order never depends on which transaction happens to finish first.
+const PIPELINE_STAGES: [&str; 16] = [
+    "request: queue + arbitration",
+    "request: router pipeline",
+    "request: wire flight",
+    "request: link serialization",
+    "request: congestion penalty",
+    "directory lookup (fixed)",
+    "zbox queue",
+    "dram open page",
+    "dram closed page",
+    "response: queue + arbitration",
+    "response: router pipeline",
+    "response: wire flight",
+    "response: link serialization",
+    "response: congestion penalty",
+    "front end (fixed)",
+    "unattributed (retry / backoff)",
+];
+
+/// Request-leg attribution parked between the request's arrival at the
+/// home node and its response's arrival back at the requester.
+struct RequestLeg {
+    request: HopBreakdown,
+    zbox_queue_ps: u64,
+    dram_ps: u64,
+    page_hit: bool,
+}
+
+/// Accumulates per-transaction attribution during an instrumented run.
+struct TelemetryCollector {
+    registry: Registry,
+    breakdown: BreakdownTable,
+    legs: BTreeMap<u64, RequestLeg>,
+}
+
+impl TelemetryCollector {
+    fn new() -> Self {
+        let mut breakdown = BreakdownTable::default();
+        for stage in PIPELINE_STAGES {
+            breakdown.charge(stage, 0);
+        }
+        TelemetryCollector {
+            registry: Registry::default(),
+            breakdown,
+            legs: BTreeMap::new(),
+        }
+    }
+
+    /// The home node served a request from its Zbox: park the request leg
+    /// until the response closes the transaction. Retried requests simply
+    /// overwrite the leg — the response that completes the read is the one
+    /// produced by the last request served.
+    fn on_request_served(&mut self, d: &Delivery, acc: &ZboxAccess, served_from: SimTime) {
+        self.legs.insert(
+            d.tag,
+            RequestLeg {
+                request: d.breakdown,
+                zbox_queue_ps: acc.started.since(served_from).as_ps(),
+                dram_ps: acc.completed.since(acc.started).as_ps(),
+                page_hit: acc.page_hit,
+            },
+        );
+    }
+
+    /// A read completed: charge every attributable picosecond of its
+    /// end-to-end latency to a pipeline stage. On a healthy run the stages
+    /// sum exactly to `e2e_ps`; anything the stages cannot explain (retry
+    /// backoff, time lost with a dropped packet) lands in the
+    /// `unattributed` stage, so the table always balances.
+    fn on_complete(
+        &mut self,
+        tag: u64,
+        response: &HopBreakdown,
+        directory_ps: u64,
+        front_ps: u64,
+        e2e_ps: u64,
+    ) {
+        let mut known = 0u64;
+        if let Some(leg) = self.legs.remove(&tag) {
+            for (stage, ps) in [
+                ("request: queue + arbitration", leg.request.queued_ps),
+                ("request: router pipeline", leg.request.router_ps),
+                ("request: wire flight", leg.request.wire_ps),
+                ("request: link serialization", leg.request.serialization_ps),
+                ("request: congestion penalty", leg.request.congestion_ps),
+                ("directory lookup (fixed)", directory_ps),
+                ("zbox queue", leg.zbox_queue_ps),
+                (
+                    if leg.page_hit {
+                        "dram open page"
+                    } else {
+                        "dram closed page"
+                    },
+                    leg.dram_ps,
+                ),
+            ] {
+                self.breakdown.charge(stage, ps);
+                known += ps;
+            }
+        }
+        for (stage, ps) in [
+            ("response: queue + arbitration", response.queued_ps),
+            ("response: router pipeline", response.router_ps),
+            ("response: wire flight", response.wire_ps),
+            ("response: link serialization", response.serialization_ps),
+            ("response: congestion penalty", response.congestion_ps),
+            ("front end (fixed)", front_ps),
+        ] {
+            self.breakdown.charge(stage, ps);
+            known += ps;
+        }
+        self.breakdown.charge(
+            "unattributed (retry / backoff)",
+            e2e_ps.saturating_sub(known),
+        );
+        self.breakdown.complete_transaction(e2e_ps);
+    }
+}
+
 /// Mutable per-run state, grouped so the injection and retry paths can
 /// share it.
 struct RunState {
@@ -201,7 +341,35 @@ impl<T: Topology> FaultCampaign<T> {
 
     /// Run the campaign to completion. Panics (loudly, by design) if the
     /// fault plan would partition the fabric.
-    pub fn run(mut self, cfg: &FaultCampaignConfig) -> CampaignResult {
+    pub fn run(self, cfg: &FaultCampaignConfig) -> CampaignResult {
+        self.run_inner(cfg, None).0
+    }
+
+    /// Run the campaign with telemetry collection: component counters, the
+    /// per-hop latency breakdown, and (with `trace`) a Chrome-trace sink
+    /// with message, link, and DRAM lanes. Telemetry never perturbs the
+    /// simulation — an instrumented run returns the same
+    /// [`CampaignResult`] as [`run`](Self::run).
+    pub fn run_instrumented(
+        mut self,
+        cfg: &FaultCampaignConfig,
+        trace: bool,
+    ) -> (CampaignResult, CampaignTelemetry) {
+        if trace {
+            self.net.enable_trace();
+            if let Some(sink) = self.net.trace_mut() {
+                sink.name_process(PID_MEMORY, "memory: zbox dram service");
+            }
+        }
+        let (result, telemetry) = self.run_inner(cfg, Some(TelemetryCollector::new()));
+        (result, telemetry.expect("collector was provided"))
+    }
+
+    fn run_inner(
+        mut self,
+        cfg: &FaultCampaignConfig,
+        mut collector: Option<TelemetryCollector>,
+    ) -> (CampaignResult, Option<CampaignTelemetry>) {
         assert!(cfg.outstanding >= 1, "need at least one outstanding read");
         assert!(
             cfg.watchdog_window > cfg.retry.timeout,
@@ -219,7 +387,7 @@ impl<T: Topology> FaultCampaign<T> {
             poisoned: Vec::new(),
         };
         let mut dog = Watchdog::new(cfg.watchdog_window);
-        let mut latencies: Vec<SimDuration> = Vec::new();
+        let mut latencies = MeanP99::new();
         let mut completion_times: Vec<SimTime> = Vec::new();
         let mut reports: Vec<LivelockReport> = Vec::new();
         let mut faults_applied: Vec<FaultKind> = Vec::new();
@@ -251,11 +419,23 @@ impl<T: Topology> FaultCampaign<T> {
                             let addr = Addr::new(
                                 (d.tag.wrapping_mul(0x9E3779B97F4A7C15) >> 16) & 0x3FFF_FFC0,
                             );
-                            let acc = self.zboxes[d.dst.index()].access(
-                                now + self.directory_overhead,
-                                addr,
-                                64,
-                            );
+                            let served_from = now + self.directory_overhead;
+                            let acc = self.zboxes[d.dst.index()].access(served_from, addr, 64);
+                            if let Some(c) = collector.as_mut() {
+                                c.on_request_served(&d, &acc, served_from);
+                            }
+                            if let Some(sink) = self.net.trace_mut() {
+                                let tid = d.dst.index() as u32;
+                                sink.complete(
+                                    "dram read",
+                                    "mem",
+                                    PID_MEMORY,
+                                    tid,
+                                    served_from.as_ps(),
+                                    acc.completed.since(served_from).as_ps(),
+                                    &[("tag", d.tag), ("page_hit", u64::from(acc.page_hit))],
+                                );
+                            }
                             let requester = self.cpus[(d.tag >> 32) as usize];
                             self.net.send(
                                 acc.completed,
@@ -270,8 +450,18 @@ impl<T: Topology> FaultCampaign<T> {
                             let Some(tx) = st.pending.complete(d.tag) else {
                                 continue; // duplicate response from a retry
                             };
-                            latencies.push(now.since(tx.first_issued) + self.front_overhead);
+                            let e2e = now.since(tx.first_issued) + self.front_overhead;
+                            latencies.record(e2e);
                             completion_times.push(now);
+                            if let Some(c) = collector.as_mut() {
+                                c.on_complete(
+                                    d.tag,
+                                    &d.breakdown,
+                                    self.directory_overhead.as_ps(),
+                                    self.front_overhead.as_ps(),
+                                    e2e.as_ps(),
+                                );
+                            }
                             let cpu = (d.tag >> 32) as usize;
                             self.inject_next(cfg, cpu, now, &mut st);
                         }
@@ -316,16 +506,7 @@ impl<T: Topology> FaultCampaign<T> {
         );
 
         let completed = st.pending.completed();
-        latencies.sort_unstable();
-        let mean_latency = if latencies.is_empty() {
-            SimDuration::ZERO
-        } else {
-            latencies.iter().copied().sum::<SimDuration>() / latencies.len() as u64
-        };
-        let p99_latency = latencies
-            .get((latencies.len().saturating_sub(1)) * 99 / 100)
-            .copied()
-            .unwrap_or(SimDuration::ZERO);
+        let (mean_latency, p99_latency) = latencies.finish();
         let elapsed = last_delivery.since(SimTime::ZERO);
         let delivered_gbps = if elapsed > SimDuration::ZERO {
             completed as f64 * 64.0 / elapsed.as_secs() / 1e9
@@ -346,7 +527,29 @@ impl<T: Topology> FaultCampaign<T> {
                 }
             }
         };
-        CampaignResult {
+        let telemetry = collector.map(|mut c| {
+            st.pending.export_metrics(&mut c.registry);
+            dog.export_metrics(&mut c.registry);
+            for z in &self.zboxes {
+                z.export_metrics(&mut c.registry);
+            }
+            c.registry
+                .counter_add("net.dropped", self.net.dropped_count());
+            c.registry
+                .counter_add("net.rerouted", self.net.rerouted_count());
+            c.registry
+                .counter_add("campaign.poisoned", st.poisoned.len() as u64);
+            c.registry
+                .counter_add("campaign.faults_applied", faults_applied.len() as u64);
+            c.registry
+                .gauge_max("sim.event_queue_peak", self.net.event_queue_peak() as u64);
+            CampaignTelemetry {
+                registry: c.registry,
+                breakdown: c.breakdown,
+                trace: self.net.take_trace(),
+            }
+        });
+        let result = CampaignResult {
             completed,
             retries: st.pending.retries(),
             dropped: self.net.dropped_count(),
@@ -359,7 +562,8 @@ impl<T: Topology> FaultCampaign<T> {
             delivered_gbps,
             steady_gbps,
             elapsed,
-        }
+        };
+        (result, telemetry)
     }
 
     fn inject(&mut self, cfg: &FaultCampaignConfig, cpu: usize, at: SimTime, st: &mut RunState) {
@@ -650,6 +854,71 @@ mod tests {
         assert_eq!(a.mean_latency, b.mean_latency);
         assert_eq!(a.p99_latency, b.p99_latency);
         assert_eq!(a.elapsed, b.elapsed);
+    }
+
+    #[test]
+    fn healthy_instrumented_run_attributes_every_picosecond() {
+        let cfg = FaultCampaignConfig {
+            requests_per_cpu: 40,
+            ..Default::default()
+        };
+        let (r, t) = campaign16().run_instrumented(&cfg, false);
+        assert_eq!(r.completed, 16 * 40);
+        assert_eq!(t.breakdown.transactions(), r.completed);
+        // On a healthy run the pipeline stages explain the entire
+        // load-to-use latency with nothing left over: the table's charged
+        // total equals the end-to-end total exactly (integer picoseconds),
+        // and the unattributed bucket is empty.
+        assert_eq!(t.breakdown.charged_ps(), t.breakdown.end_to_end_ps());
+        assert_eq!(t.breakdown.stage_ps("unattributed (retry / backoff)"), 0);
+        // Fixed overheads are charged once per completed read.
+        let dir_ps = t.breakdown.stage_ps("directory lookup (fixed)");
+        assert_eq!(
+            dir_ps,
+            campaign16().directory_overhead.as_ps() * r.completed,
+            "directory overhead charged exactly once per read"
+        );
+        // Counters mirror the campaign result and the zbox totals.
+        assert_eq!(t.registry.counter("coherence.completed"), r.completed);
+        assert_eq!(t.registry.counter("coherence.retries"), 0);
+        assert_eq!(t.registry.counter("net.dropped"), 0);
+        assert_eq!(t.registry.counter("zbox.accesses"), r.completed);
+        assert_eq!(
+            t.registry.counter("zbox.page_hits") + t.registry.counter("zbox.page_misses"),
+            r.completed
+        );
+        assert!(t.registry.gauge("sim.event_queue_peak") > 0);
+        assert!(t.registry.gauge("coherence.pending_peak") >= cfg.outstanding as u64);
+        assert!(t.trace.is_none(), "tracing was not requested");
+    }
+
+    #[test]
+    fn instrumentation_never_perturbs_the_simulation() {
+        let mut plan = FaultPlan::new();
+        plan.push(
+            SimTime::ZERO + SimDuration::from_us(1.0),
+            FaultKind::LinkDown { a: 0, b: 1 },
+        );
+        let cfg = FaultCampaignConfig {
+            outstanding: 6,
+            requests_per_cpu: 60,
+            plan,
+            ..Default::default()
+        };
+        let plain = campaign16().run(&cfg);
+        let (instrumented, t) = campaign16().run_instrumented(&cfg, true);
+        assert_eq!(plain.completed, instrumented.completed);
+        assert_eq!(plain.retries, instrumented.retries);
+        assert_eq!(plain.dropped, instrumented.dropped);
+        assert_eq!(plain.mean_latency, instrumented.mean_latency);
+        assert_eq!(plain.p99_latency, instrumented.p99_latency);
+        assert_eq!(plain.elapsed, instrumented.elapsed);
+        // The wounded run still balances its breakdown: whatever the
+        // stages cannot explain (backoff, lost flights) is charged to the
+        // unattributed bucket, never silently dropped.
+        assert_eq!(t.breakdown.charged_ps(), t.breakdown.end_to_end_ps());
+        let trace = t.trace.expect("tracing was requested");
+        assert!(!trace.is_empty(), "traced run must record events");
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub use calibration::{Calibration, MachineKind};
 pub use coherent::{CoherentMachine, CoherentOutcome, CoherentStats, MachineModel, ServiceClass};
 pub use es45::{Es45, Sc45};
 pub use faulty::{
-    gs1280_fault_campaign, CampaignPattern, CampaignResult, FaultCampaign, FaultCampaignConfig,
-    PoisonedTx,
+    gs1280_fault_campaign, CampaignPattern, CampaignResult, CampaignTelemetry, FaultCampaign,
+    FaultCampaignConfig, PoisonedTx,
 };
 pub use gs1280::{FabricTopo, Gs1280, Gs1280Builder};
 pub use gs320::Gs320;

@@ -1,0 +1,252 @@
+//! Fixed-shape log2-bucketed histogram.
+//!
+//! Sixty-five buckets cover the whole `u64` range: bucket 0 holds the value
+//! zero, and bucket `i` (for `i >= 1`) holds values in
+//! `[2^(i-1), 2^i - 1]`. The shape is identical for every instance, so two
+//! histograms recorded by different sweep workers merge by bucket-wise
+//! addition with no rebinning — the merged snapshot is byte-identical to
+//! what a sequential run would have produced.
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+/// Number of buckets: one for zero plus one per power of two up to `2^63`.
+pub const BUCKETS: usize = 65;
+
+/// A deterministic log2-bucketed histogram of `u64` samples.
+///
+/// Recording is constant-time (a `leading_zeros` and an array increment) so
+/// always-on component instrumentation stays off the profile. `sum` uses
+/// saturating addition; with picosecond-scale samples this cannot overflow
+/// in any realistic run, and saturation is still deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in: 0 for zero, else
+    /// `64 - leading_zeros(v)` (so 1 maps to bucket 1, `u64::MAX` to 64).
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range bucket `i` covers.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            1..=64 => (
+                1u64 << (i - 1),
+                (1u64 << (i - 1)).wrapping_mul(2).wrapping_sub(1),
+            ),
+            _ => (u64::MAX, u64::MAX),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean (sum / count), or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Count in one bucket.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Bucket-wise merge: the result is identical to recording both sample
+    /// streams into one histogram, in any order.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sparse JSON snapshot: summary fields plus only the non-empty buckets
+    /// (as `[lo, count]` pairs in ascending bucket order).
+    pub fn to_json(&self) -> Value {
+        let nonzero: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| json!([Self::bucket_range(i).0, c]))
+            .collect();
+        json!({
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min(),
+            "max": self.max,
+            "mean": self.mean(),
+            "buckets": nonzero,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn powers_of_two_land_on_bucket_edges() {
+        // 2^(i-1) is the inclusive lower edge of bucket i; 2^(i-1) - 1 of
+        // bucket i-1's upper edge.
+        for i in 1..=63usize {
+            let lo = 1u64 << (i - 1);
+            assert_eq!(
+                Log2Histogram::bucket_index(lo),
+                i,
+                "lower edge of bucket {i}"
+            );
+            if lo > 1 {
+                assert_eq!(
+                    Log2Histogram::bucket_index(lo - 1),
+                    i - 1,
+                    "upper edge below bucket {i}"
+                );
+            }
+        }
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+    }
+
+    #[test]
+    fn u64_max_lands_in_last_bucket() {
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_index(1u64 << 63), 64);
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket(64), 1);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_domain() {
+        assert_eq!(Log2Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Log2Histogram::bucket_range(1), (1, 1));
+        assert_eq!(Log2Histogram::bucket_range(2), (2, 3));
+        assert_eq!(Log2Histogram::bucket_range(64), (1u64 << 63, u64::MAX));
+        for i in 1..BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_range(i);
+            assert_eq!(Log2Histogram::bucket_index(lo), i);
+            assert_eq!(Log2Histogram::bucket_index(hi), i);
+            let (_, prev_hi) = Log2Histogram::bucket_range(i - 1);
+            assert_eq!(lo, prev_hi.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let samples = [0u64, 1, 3, 7, 100, 1 << 20, u64::MAX];
+        let mut whole = Log2Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn json_snapshot_is_sparse() {
+        let mut h = Log2Histogram::new();
+        h.record(5);
+        h.record(5);
+        let v = h.to_json();
+        let s = serde_json::to_string(&v).expect("serialize");
+        assert!(s.contains("\"count\":2"), "{s}");
+        assert!(s.contains("[4,2]"), "bucket [lo=4, count=2] expected: {s}");
+    }
+}
