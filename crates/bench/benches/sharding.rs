@@ -1,0 +1,235 @@
+//! Single-queue vs region-sharded stepping: the cost and the payoff.
+//!
+//! Two families of measurements:
+//!
+//! * **Production path** — the `NetworkSim` event loop with its queue
+//!   partitioned into torus row-band shards. The order is identical at any
+//!   shard count (shared insertion sequence, global-min pop), so this
+//!   isolates the pure per-step overhead of sharding on the two workload
+//!   shapes that dominate the committed sweep: a fig05-shaped hotspot
+//!   (every node hammering node 0) and a resilience-shaped faulty run
+//!   (bisection mirror traffic over a wounded fabric).
+//!
+//! * **Epoch engine crossover** — the conservative [`EpochExecutor`]
+//!   against plain single-queue stepping on the same synthetic workload,
+//!   with a per-event compute knob. At zero compute the barrier/channel
+//!   overhead dominates and the single queue wins; as per-event work grows
+//!   the threaded epochs cross over. The `cost` parameter in the bench name
+//!   is the spin count — compare `single_queue` against
+//!   `epochs_4shards_4threads` at each cost to locate the crossover point
+//!   on the host at hand. The `1thread` rows isolate the pure epoch
+//!   machinery (they track `single_queue` within a few percent); the
+//!   `4threads` rows additionally carry the pool's channel round-trips, so
+//!   on a single-core host they can only lose — run this bench on a
+//!   multi-core machine to see the crossover (with 4 cores it sits between
+//!   `cost64` and `cost512` for this workload shape).
+
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use alphasim::kernel::shard::{EpochExecutor, Outbox, ShardWorker};
+use alphasim::kernel::{DetRng, EventQueue, SimDuration, SimTime};
+use alphasim::net::{LinkTiming, MessageClass, NetworkSim};
+use alphasim::topology::{NodeId, Torus2D};
+
+/// Drain an 8x8 torus with every node sending `per_node` requests to node 0
+/// (the fig05/fig27 hotspot shape) at the given shard count.
+fn hotspot_run(shards: usize, per_node: u64) -> u64 {
+    let mut net = NetworkSim::new(Torus2D::new(8, 8), LinkTiming::ev7_torus());
+    net.set_shards(shards);
+    for round in 0..per_node {
+        for src in 1..64usize {
+            net.send(
+                SimTime::from_ps(round * 5_000),
+                NodeId::new(src),
+                NodeId::new(0),
+                MessageClass::Request,
+                64,
+                round * 64 + src as u64,
+            );
+        }
+    }
+    net.drain();
+    net.delivered_count()
+}
+
+/// Same-row mirror traffic over an 8x8 torus with two bisection links cut
+/// mid-run (the resilience campaign's shape) at the given shard count.
+fn faulty_run(shards: usize, rounds: u64) -> u64 {
+    let mut net = NetworkSim::new(Torus2D::new(8, 8), LinkTiming::ev7_torus());
+    net.set_shards(shards);
+    for round in 0..rounds {
+        for row in 0..8usize {
+            for col in 0..4usize {
+                let west = NodeId::new(row * 8 + col);
+                let east = NodeId::new(row * 8 + col + 4);
+                let at = SimTime::from_ps(round * 20_000);
+                net.send(at, west, east, MessageClass::Request, 64, round * 64);
+                net.send(
+                    at,
+                    east,
+                    west,
+                    MessageClass::BlockResponse,
+                    64,
+                    round * 64 + 1,
+                );
+            }
+        }
+        if round == rounds / 3 {
+            net.fail_link(NodeId::new(3), NodeId::new(4)).unwrap();
+            net.fail_link(NodeId::new(11), NodeId::new(12)).unwrap();
+        }
+    }
+    net.drain();
+    net.delivered_count()
+}
+
+fn bench_network_sharding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharding");
+    // 63 senders x 8 rounds of hotspot traffic.
+    g.throughput(Throughput::Elements(63 * 8));
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_function(format!("hotspot_fig05_shape_{shards}shards"), |b| {
+            b.iter(|| black_box(hotspot_run(shards, 8)))
+        });
+    }
+    // 64 mirror messages x 12 rounds over the wounded fabric.
+    g.throughput(Throughput::Elements(64 * 12));
+    for shards in [1usize, 2, 4] {
+        g.bench_function(format!("faulty_resilience_shape_{shards}shards"), |b| {
+            b.iter(|| black_box(faulty_run(shards, 12)))
+        });
+    }
+    g.finish();
+}
+
+const NODES: u32 = 64;
+const HOP: u64 = 500; // intra-region follow-up delay, ps
+const LOOKAHEAD: u64 = 20_500; // cross-region horizon, ps (a board hop)
+
+/// Deterministic per-event compute: `cost` xorshift rounds.
+fn spin(seed: u64, cost: u32) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..cost {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+/// The synthetic event: (node, remaining hops, message id).
+type Hop = (u32, u32, u64);
+
+/// Advance a hop: burn `cost` compute, then forward the message seven nodes
+/// on (mod the fabric) until its hop budget is spent. Returns the follow-up
+/// event and the absolute time it must fire at, given the emitting region's
+/// shard count (cross-region sends wait out the lookahead horizon).
+fn next_hop(
+    at: SimTime,
+    ev: Hop,
+    cost: u32,
+    shards: u32,
+    acc: &mut u64,
+) -> Option<(usize, SimTime, u64, Hop)> {
+    let (node, remaining, msg) = ev;
+    *acc ^= spin(msg.wrapping_add(u64::from(node)), cost);
+    if remaining == 0 {
+        return None;
+    }
+    let next = (node + 7) % NODES;
+    let (home, dest) = (node * shards / NODES, next * shards / NODES);
+    let delay = if home == dest { HOP } else { LOOKAHEAD };
+    let tiebreak = msg * 1_000 + u64::from(remaining);
+    Some((
+        dest as usize,
+        at + SimDuration::from_ps(delay),
+        tiebreak,
+        (next, remaining - 1, msg),
+    ))
+}
+
+struct RegionWorker {
+    shards: u32,
+    cost: u32,
+    acc: u64,
+}
+
+impl ShardWorker for RegionWorker {
+    type Event = Hop;
+
+    fn handle(&mut self, at: SimTime, ev: Hop, out: &mut Outbox<Hop>) {
+        if let Some((dest, when, tiebreak, next)) =
+            next_hop(at, ev, self.cost, self.shards, &mut self.acc)
+        {
+            out.emit(dest, when, tiebreak, next);
+        }
+    }
+}
+
+/// The same workload through one flat [`EventQueue`], stepped inline.
+fn single_queue_run(msgs: u64, hops: u32, cost: u32) -> u64 {
+    let mut q = EventQueue::new();
+    let mut rng = DetRng::seeded(9);
+    for m in 0..msgs {
+        let node = rng.index(NODES as usize) as u32;
+        q.schedule(SimTime::from_ps(m * 11), (node, hops, m));
+    }
+    let mut acc = 0u64;
+    while let Some((at, ev)) = q.pop() {
+        if let Some((_, when, _, next)) = next_hop(at, ev, cost, 1, &mut acc) {
+            q.schedule(when, next);
+        }
+    }
+    acc
+}
+
+/// The same workload through the conservative epoch engine.
+fn epoch_run(msgs: u64, hops: u32, cost: u32, shards: u32, threads: usize) -> u64 {
+    let workers = (0..shards)
+        .map(|_| RegionWorker {
+            shards,
+            cost,
+            acc: 0,
+        })
+        .collect();
+    let mut exec = EpochExecutor::new(workers, SimDuration::from_ps(LOOKAHEAD), threads);
+    let mut rng = DetRng::seeded(9);
+    for m in 0..msgs {
+        let node = rng.index(NODES as usize) as u32;
+        exec.seed(
+            (node * shards / NODES) as usize,
+            SimTime::from_ps(m * 11),
+            m,
+            (node, hops, m),
+        );
+    }
+    exec.run_until_idle();
+    exec.into_workers().iter().fold(0, |a, w| a ^ w.acc)
+}
+
+fn bench_epoch_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharding");
+    let (msgs, hops) = (64u64, 40u32);
+    g.throughput(Throughput::Elements(msgs * u64::from(hops + 1)));
+    // cost 0: pure stepping overhead. cost 4096: multi-µs events, the
+    // regime where threaded epochs pay off.
+    for cost in [0u32, 64, 512, 4096] {
+        g.bench_function(format!("single_queue_cost{cost}"), |b| {
+            b.iter(|| black_box(single_queue_run(msgs, hops, cost)))
+        });
+        g.bench_function(format!("epochs_4shards_1thread_cost{cost}"), |b| {
+            b.iter(|| black_box(epoch_run(msgs, hops, cost, 4, 1)))
+        });
+        g.bench_function(format!("epochs_4shards_4threads_cost{cost}"), |b| {
+            b.iter(|| black_box(epoch_run(msgs, hops, cost, 4, 4)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_network_sharding, bench_epoch_crossover);
+criterion_main!(benches);

@@ -35,6 +35,7 @@
 pub mod arbiter;
 mod link;
 mod msg;
+pub mod region;
 mod sim;
 mod timing;
 

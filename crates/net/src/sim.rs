@@ -1,6 +1,6 @@
 //! The message-level network simulator.
 
-use alphasim_kernel::{EventQueue, FaultKind, FaultPlan, SimDuration, SimTime};
+use alphasim_kernel::{FaultKind, FaultPlan, ShardedEventQueue, SimDuration, SimTime};
 use alphasim_telemetry::trace::{PID_LINKS, PID_MESSAGES};
 use alphasim_telemetry::{HopBreakdown, TraceSink};
 use alphasim_topology::route::{RoutePolicy, Routes};
@@ -8,7 +8,12 @@ use alphasim_topology::{Coord, NodeId, Port, Topology};
 
 use crate::link::Link;
 use crate::msg::{Delivery, DroppedMsg, MessageClass, MessageId};
+use crate::region::RegionMap;
 use crate::timing::LinkTiming;
+
+/// The region shard that hosts fabric-global events (fault strikes, caller
+/// timers): these are barrier events with no single home node.
+const GLOBAL_SHARD: usize = 0;
 
 /// What one [`NetworkSim::step`] produced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -191,7 +196,15 @@ pub struct NetworkSim<T: Topology> {
     /// Whether a link failure loses the message occupying the wire (the
     /// coherence layer then sees [`Step::Dropped`] and must retry).
     drop_in_flight: bool,
-    events: EventQueue<Event>,
+    /// Node → region partition behind the sharded event queue; tracks live
+    /// cross-region links so the conservative lookahead stays current as
+    /// faults strike.
+    region: RegionMap,
+    /// The future-event list, sharded by topology region. All shards share
+    /// one insertion sequence and `pop` is the global minimum, so the event
+    /// order — and therefore every output byte — is identical at any shard
+    /// count (see `alphasim_kernel::shard`).
+    events: ShardedEventQueue<Event>,
     msgs: Vec<MsgState>,
     /// Slots in `msgs` whose message has been delivered, ready for reuse.
     /// A delivered [`MessageId`] is never dereferenced again (deliveries
@@ -231,6 +244,7 @@ impl<T: Topology> NetworkSim<T> {
         }
         let live_link_of = link_of.clone();
         let drained = vec![false; topo.node_count()];
+        let region = RegionMap::bands(&topo, 1);
         NetworkSim {
             topo,
             routes,
@@ -242,7 +256,8 @@ impl<T: Topology> NetworkSim<T> {
             live_link_of,
             drained,
             drop_in_flight: false,
-            events: EventQueue::new(),
+            region,
+            events: ShardedEventQueue::new(1),
             msgs: Vec::new(),
             free: Vec::new(),
             delivered: 0,
@@ -294,6 +309,47 @@ impl<T: Topology> NetworkSim<T> {
     /// run and therefore deterministic under concurrent sweeps).
     pub fn event_queue_peak(&self) -> usize {
         self.events.peak_len()
+    }
+
+    /// Per-region high-water marks of the pending-event count, indexed by
+    /// shard id (one entry when unsharded).
+    pub fn shard_event_peaks(&self) -> &[usize] {
+        self.events.shard_peaks()
+    }
+
+    /// Repartition the fabric into `shards` contiguous regions (row bands
+    /// on the torus) and shard the event queue accordingly. The event
+    /// *order* is unchanged — shards share one insertion sequence and pops
+    /// take the global minimum — so every output byte is identical at any
+    /// shard count; what changes is the queue's structure (per-region
+    /// depth attribution, and the partitioning a conservative parallel
+    /// epoch run needs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are already pending: the shard map must be fixed
+    /// before traffic is injected.
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(
+            self.events.is_empty(),
+            "set_shards must run before any event is scheduled"
+        );
+        self.region = RegionMap::bands(&self.topo, shards);
+        self.events = ShardedEventQueue::new(self.region.shard_count());
+    }
+
+    /// The region-shard count in force (1 = unsharded).
+    pub fn shards(&self) -> usize {
+        self.events.shard_count()
+    }
+
+    /// The conservative lookahead of the current partition: the cheapest
+    /// hop over any live cross-region link, or `None` when unsharded. This
+    /// is the horizon up to which regions could advance independently —
+    /// every cross-region effect is delayed at least this long by the wire
+    /// that carries it.
+    pub fn conservative_lookahead(&self) -> Option<SimDuration> {
+        self.region.conservative_lookahead(&self.timing)
     }
 
     /// Attach a Chrome-trace sink recording message lifetimes (one lane per
@@ -358,7 +414,8 @@ impl<T: Topology> NetworkSim<T> {
     /// the memory layer to apply.
     pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
         for e in plan.events() {
-            self.events.schedule(e.at, Event::Fault { kind: e.kind });
+            self.events
+                .schedule(GLOBAL_SHARD, e.at, Event::Fault { kind: e.kind });
         }
     }
 
@@ -366,7 +423,7 @@ impl<T: Topology> NetworkSim<T> {
     /// [`Step::Timer`] with the same `tag` when `at` is reached. Coherence
     /// timeout-and-retry loops ride on these.
     pub fn set_timer(&mut self, at: SimTime, tag: u64) {
-        self.events.schedule(at, Event::Timer { tag });
+        self.events.schedule(GLOBAL_SHARD, at, Event::Timer { tag });
     }
 
     /// The link id of the directed link `from -> to`, if it exists.
@@ -405,10 +462,13 @@ impl<T: Topology> NetworkSim<T> {
                 }
             }
             let from = self.links[id].from;
+            self.region
+                .directed_link_down(from, self.links[id].to, self.links[id].class);
+            let shard = self.region.region_of(from);
             for m in self.links[id].drain_queued() {
                 self.rerouted += 1;
                 self.events
-                    .schedule(now, Event::Arrive { msg: m, node: from });
+                    .schedule(shard, now, Event::Arrive { msg: m, node: from });
             }
         }
         if let Err(e) = self.rebuild_routes() {
@@ -416,6 +476,11 @@ impl<T: Topology> NetworkSim<T> {
             // in-flight messages condemned above).
             for id in [la, lb] {
                 self.links[id].set_alive(true);
+                self.region.directed_link_up(
+                    self.links[id].from,
+                    self.links[id].to,
+                    self.links[id].class,
+                );
                 if let Some(m) = self.links[id].in_flight() {
                     self.msgs[m.index()].dropped = false;
                 }
@@ -437,8 +502,14 @@ impl<T: Topology> NetworkSim<T> {
         if self.links[la].is_alive() {
             return Err(FaultError::AlreadyInState { a, b, alive: true });
         }
-        self.links[la].set_alive(true);
-        self.links[lb].set_alive(true);
+        for id in [la, lb] {
+            self.links[id].set_alive(true);
+            self.region.directed_link_up(
+                self.links[id].from,
+                self.links[id].to,
+                self.links[id].class,
+            );
+        }
         self.rebuild_routes()
             .expect("restoring a link cannot partition the fabric");
         Ok(())
@@ -529,8 +600,9 @@ impl<T: Topology> NetworkSim<T> {
             self.msgs.push(state);
             id
         };
+        let shard = self.region.region_of(src);
         self.events
-            .schedule(at, Event::Arrive { msg: id, node: src });
+            .schedule(shard, at, Event::Arrive { msg: id, node: src });
         id
     }
 
@@ -722,10 +794,15 @@ impl<T: Topology> NetworkSim<T> {
                 &[("tag", tag), ("backlog", u64::from(backlog))],
             );
         }
+        let to_shard = self.region.region_of(to);
+        let free_shard = self.region.region_of(self.links[link_id].from);
         self.events
-            .schedule(arrive_at, Event::Arrive { msg, node: to });
-        self.events
-            .schedule(now + occupancy, Event::LinkFree { link: link_id });
+            .schedule(to_shard, arrive_at, Event::Arrive { msg, node: to });
+        self.events.schedule(
+            free_shard,
+            now + occupancy,
+            Event::LinkFree { link: link_id },
+        );
     }
 
     /// The zero-load latency of a `bytes`-sized message over `hops` hops of
@@ -928,6 +1005,102 @@ mod tests {
         tags.sort_unstable();
         tags.dedup();
         assert_eq!(tags.len(), sent);
+    }
+
+    /// Drive random all-to-all traffic, with a link failing and recovering
+    /// mid-run, and return every delivery as a comparable tuple.
+    fn churn_deliveries(shards: usize) -> Vec<(u64, u64, u32, u64)> {
+        let mut net = NetworkSim::new(Torus2D::new(8, 4), LinkTiming::ev7_torus());
+        net.set_shards(shards);
+        let mut rng = DetRng::seeded(23);
+        let n = 32;
+        let mut out = Vec::new();
+        for i in 0..400u64 {
+            let src = rng.index(n);
+            let dst = rng.index_excluding(n, src);
+            net.send(
+                SimTime::from_ps(i * 700),
+                NodeId::new(src),
+                NodeId::new(dst),
+                MessageClass::Request,
+                16,
+                i,
+            );
+            if i == 120 {
+                net.fail_link(NodeId::new(4), NodeId::new(12))
+                    .expect("cutting one link cannot partition a torus");
+            }
+            if i == 300 {
+                net.restore_link(NodeId::new(4), NodeId::new(12))
+                    .expect("link was down");
+            }
+        }
+        for d in net.drain_deliveries() {
+            out.push((d.tag, d.delivered_at.as_ps(), d.hops, d.latency().as_ps()));
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_unsharded() {
+        // The sharded queue shares one insertion sequence and pops the
+        // global minimum, so the event order — and therefore every delivery
+        // — must match the unsharded run exactly, faults and all.
+        let baseline = churn_deliveries(1);
+        assert!(!baseline.is_empty());
+        for shards in [2, 4] {
+            assert_eq!(
+                churn_deliveries(shards),
+                baseline,
+                "{shards} shards diverged from unsharded run"
+            );
+        }
+    }
+
+    #[test]
+    fn lookahead_tracks_faults_on_the_live_fabric() {
+        let net = sim4x4();
+        assert_eq!(net.conservative_lookahead(), None, "unsharded: no horizon");
+        let mut net = sim4x4();
+        net.set_shards(2);
+        // 4x4 band boundary crossings are North/South Board hops: 20.5 ns.
+        let la = net
+            .conservative_lookahead()
+            .expect("two regions share links");
+        assert_eq!(la.as_ns(), 20.5);
+        // Cutting a boundary link must not *raise* the horizon above the
+        // remaining boundary links (and here they are all the same class).
+        net.fail_link(NodeId::new(4), NodeId::new(8))
+            .expect("single cut is routable");
+        assert_eq!(
+            net.conservative_lookahead().expect("boundary still linked"),
+            la
+        );
+        net.restore_link(NodeId::new(4), NodeId::new(8))
+            .expect("link was down");
+        assert_eq!(net.conservative_lookahead(), Some(la));
+    }
+
+    #[test]
+    fn shard_peaks_attribute_depth_per_region() {
+        let mut net = sim4x4();
+        net.set_shards(2);
+        for dst in 1..16 {
+            net.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(dst),
+                MessageClass::Request,
+                16,
+                dst as u64,
+            );
+        }
+        net.drain_deliveries();
+        let peaks = net.shard_event_peaks();
+        assert_eq!(peaks.len(), 2);
+        assert!(peaks[0] > 0, "source region saw events");
+        assert!(peaks[1] > 0, "far band saw arrivals");
+        assert!(peaks.iter().sum::<usize>() >= net.event_queue_peak());
     }
 
     #[test]

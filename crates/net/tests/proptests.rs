@@ -4,8 +4,9 @@
 #![allow(clippy::unwrap_used)]
 
 use alphasim_kernel::SimTime;
+use alphasim_net::region::{lookahead_by_walk, RegionMap};
 use alphasim_net::{LinkTiming, MessageClass, NetworkSim};
-use alphasim_topology::{NodeId, Torus2D};
+use alphasim_topology::{Degraded, NodeId, Topology, Torus2D};
 use proptest::prelude::*;
 
 fn classes() -> impl Strategy<Value = MessageClass> {
@@ -117,5 +118,87 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// The conservative-lookahead invariant: the incrementally-maintained
+    /// lookahead equals the minimum latency over live inter-region links —
+    /// computed by brute-force fabric walk — across torus sizes from 4x4 to
+    /// 16x16 and under zero, one, or two link cuts; and restoring the cuts
+    /// restores the healthy value.
+    #[test]
+    fn lookahead_is_min_inter_region_latency_under_cuts(
+        shape in (4usize..=16, 4usize..=16),
+        shards in 2usize..=6,
+        picks in prop::collection::vec((0usize..1024, 0usize..8), 0..3),
+    ) {
+        let (c, r) = shape;
+        let torus = Torus2D::new(c, r);
+        let timing = LinkTiming::ev7_torus();
+        let mut map = RegionMap::bands(&torus, shards);
+
+        // Resolve the random picks into distinct undirected links.
+        let mut cuts: Vec<(NodeId, NodeId)> = Vec::new();
+        for &(ni, pi) in &picks {
+            let a = NodeId::new(ni % (c * r));
+            let ports = torus.ports(a);
+            let b = ports[pi % ports.len()].to;
+            let key = if a.index() <= b.index() { (a, b) } else { (b, a) };
+            if !cuts.contains(&key) {
+                cuts.push(key);
+            }
+        }
+        let class_of = |a: NodeId, b: NodeId| {
+            torus.ports(a).iter().find(|p| p.to == b).expect("link exists").class
+        };
+
+        // Cut both directed channels of each link, as the fabric does.
+        for &(a, b) in &cuts {
+            map.directed_link_down(a, b, class_of(a, b));
+            map.directed_link_down(b, a, class_of(b, a));
+        }
+        let wounded = Degraded::new(torus.clone(), &cuts);
+        prop_assert_eq!(
+            map.conservative_lookahead(&timing),
+            lookahead_by_walk(&wounded, &map, &timing),
+            "incremental lookahead diverged from the walked minimum on a wounded {c}x{r}"
+        );
+
+        for &(a, b) in &cuts {
+            map.directed_link_up(a, b, class_of(a, b));
+            map.directed_link_up(b, a, class_of(b, a));
+        }
+        prop_assert_eq!(
+            map.conservative_lookahead(&timing),
+            lookahead_by_walk(&torus, &map, &timing),
+            "restores did not recover the healthy lookahead"
+        );
+    }
+
+    /// Sharding the event queue must not change a single delivery: same
+    /// messages, same times, same hops at any shard count.
+    #[test]
+    fn sharded_deliveries_match_unsharded(
+        msgs in prop::collection::vec((0usize..32, 0usize..32, 0u64..20_000), 1..60),
+        shards in 2usize..=5,
+    ) {
+        let run = |shards: usize| {
+            let mut net = NetworkSim::new(Torus2D::new(8, 4), LinkTiming::ev7_torus());
+            net.set_shards(shards);
+            for (i, &(src, dst, at)) in msgs.iter().enumerate() {
+                net.send(
+                    SimTime::from_ps(at),
+                    NodeId::new(src),
+                    NodeId::new(dst),
+                    MessageClass::Request,
+                    32,
+                    i as u64,
+                );
+            }
+            net.drain_deliveries()
+                .into_iter()
+                .map(|d| (d.tag, d.delivered_at, d.hops))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(1), run(shards));
     }
 }

@@ -10,12 +10,51 @@
 //! The worker count is resolved by [`jobs`]: an explicit [`set_jobs`] call
 //! wins, then the `ALPHASIM_JOBS` / `RAYON_NUM_THREADS` environment
 //! variables, then [`std::thread::available_parallelism`].
+//!
+//! Intra-run parallelism (the region-sharded event queues of
+//! [`crate::shard`]) has a separate knob, [`shards`], resolved from
+//! [`set_shards`] or `ALPHASIM_SHARDS` and defaulting to 1: sharding is
+//! opt-in per run, while job fan-out is opt-out. [`WorkerPool`] is the
+//! persistent thread pool behind epoch-synchronous sharded execution —
+//! unlike [`parallel_map`] it keeps its threads across rounds, so a
+//! simulation taking thousands of conservative epochs pays two channel
+//! transfers per shard per epoch instead of a thread spawn.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 
 /// Process-wide worker-count override; 0 means "auto-detect".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide shard-count override; 0 means "resolve from environment".
+static SHARDS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the region-shard count used by sharded event queues (see
+/// [`shards`]). `0` restores resolution from `ALPHASIM_SHARDS`.
+pub fn set_shards(n: usize) {
+    SHARDS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The region-shard count for intra-run sharded simulation: [`set_shards`],
+/// else `ALPHASIM_SHARDS`, else 1 (unsharded). Unlike [`jobs`] this never
+/// auto-detects from the machine: artifact output is byte-identical at any
+/// shard count, but the shard count is recorded in `BENCH_sweep.json`, so
+/// it defaults to a fixed, machine-independent value.
+pub fn shards() -> usize {
+    let forced = SHARDS_OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("ALPHASIM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    1
+}
 
 /// Force the worker count used by [`parallel_map`]. `1` makes every
 /// subsequent call run sequentially on the caller's thread; `0` restores
@@ -106,6 +145,113 @@ where
         .collect()
 }
 
+/// A persistent pool of worker threads for epoch-synchronous sharded
+/// simulation.
+///
+/// Each [`run_round`](Self::run_round) call hands every item to some worker
+/// (round-robin), applies the pool's work function to it by `&mut`, and
+/// returns the items **in input order**. Items are moved through channels,
+/// so workers own their item for the duration of a round — no shared
+/// mutable state, no locks on the processing path, and therefore no
+/// scheduling-order nondeterminism: the result of a round is a pure
+/// function of the items and the work function.
+///
+/// This is the engine room of the conservative epoch scheduler in
+/// [`crate::shard`]: a resilience-shaped campaign takes thousands of
+/// epochs, and `parallel_map`'s per-call thread spawn (~tens of µs) would
+/// dwarf the per-epoch work. The pool's threads persist for its lifetime;
+/// dropping the pool joins them.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_kernel::par::WorkerPool;
+///
+/// let pool = WorkerPool::new(2, |x: &mut u64| *x *= 10);
+/// assert_eq!(pool.run_round(vec![1, 2, 3]), [10, 20, 30]);
+/// assert_eq!(pool.run_round(vec![4]), [40]);
+/// ```
+pub struct WorkerPool<T: Send + 'static> {
+    /// Per-worker submission channels; dropping them stops the workers.
+    txs: Vec<mpsc::Sender<(usize, T)>>,
+    /// Shared return channel carrying `(input index, item)`.
+    results: mpsc::Receiver<(usize, T)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `workers` threads (at least one), each applying `work` to the
+    /// items it receives.
+    pub fn new<F>(workers: usize, work: F) -> Self
+    where
+        F: Fn(&mut T) + Send + Sync + Clone + 'static,
+    {
+        let workers = workers.max(1);
+        let (res_tx, results) = mpsc::channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<(usize, T)>();
+            let res_tx = res_tx.clone();
+            let work = work.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok((idx, mut item)) = rx.recv() {
+                    work(&mut item);
+                    if res_tx.send((idx, item)).is_err() {
+                        break; // pool dropped mid-round; nothing to report to
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        WorkerPool {
+            txs,
+            results,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Process every item on the pool and return them in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread has died (a panic inside the work function
+    /// kills its worker; the next round then cannot complete).
+    pub fn run_round(&self, items: Vec<T>) -> Vec<T> {
+        let n = items.len();
+        for (i, item) in items.into_iter().enumerate() {
+            self.txs[i % self.txs.len()]
+                .send((i, item))
+                .expect("pool worker alive");
+        }
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, item) = self
+                .results
+                .recv()
+                .expect("every dispatched item comes back");
+            out[i] = Some(item);
+        }
+        out.into_iter()
+            .map(|o| o.expect("each index returned exactly once"))
+            .collect()
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.txs.clear(); // disconnects the submission channels
+        for h in self.handles.drain(..) {
+            let _ = h.join(); // a worker that panicked already did its damage
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +284,35 @@ mod tests {
         assert_eq!(jobs(), 3);
         set_jobs(0);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn shards_default_to_one_and_respect_override() {
+        set_shards(0);
+        assert_eq!(shards(), 1, "sharding is opt-in");
+        set_shards(4);
+        assert_eq!(shards(), 4);
+        set_shards(0);
+    }
+
+    #[test]
+    fn pool_round_preserves_input_order_across_rounds() {
+        let pool = WorkerPool::new(3, |x: &mut usize| *x += 1);
+        let first = pool.run_round((0..64).collect());
+        assert_eq!(first, (1..65).collect::<Vec<_>>());
+        let second = pool.run_round(vec![100, 200]);
+        assert_eq!(second, [101, 201]);
+        assert!(pool.run_round(Vec::new()).is_empty());
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn pool_with_more_items_than_workers_processes_everything() {
+        let pool = WorkerPool::new(2, |v: &mut Vec<u32>| v.push(7));
+        let out = pool.run_round((0..17).map(|i| vec![i]).collect());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.as_slice(), [i as u32, 7]);
+        }
     }
 
     #[test]

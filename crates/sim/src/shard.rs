@@ -1,0 +1,736 @@
+//! Region-sharded event queues and the conservative epoch scheduler.
+//!
+//! The GS1280 being reproduced is itself a partitioned machine: a 2-D torus
+//! where every hop costs a known, fixed wire latency. This module exploits
+//! the same structure *inside* one simulation run:
+//!
+//! * [`ShardedEventQueue`] splits the future-event list into per-region
+//!   heaps while preserving the **exact** pop order of a single
+//!   [`EventQueue`](crate::EventQueue): all shards share one insertion
+//!   sequence counter, and `pop` takes the globally minimal packed
+//!   `(time << 64 | seq)` key. Output is therefore byte-identical at any
+//!   shard count *by construction* — the invariant `reproduce --check`
+//!   enforces for every committed artifact.
+//! * [`EpochExecutor`] is the conservative parallel engine: each shard owns
+//!   its slice of simulation state (a [`ShardWorker`]) and its own event
+//!   heap, advances independently up to a **conservative lookahead
+//!   horizon** — the minimum latency of any inter-region link — and
+//!   exchanges cross-region events at barrier epochs. The lookahead
+//!   contract is enforced at every emission: a cross-shard event closer
+//!   than the horizon panics, because it could land in a region's past.
+//!
+//! Determinism of the parallel engine does not come from scheduling luck:
+//! shards are **owned values** moved through the
+//! [`WorkerPool`](crate::par::WorkerPool)'s channels (no shared mutable
+//! state), cross-region events carry caller-assigned, shard-count-invariant
+//! tiebreak ids, and barrier exchange applies outboxes in ascending region
+//! order. The same seeds therefore produce the same event order — and the
+//! same bytes — at 1, 2, or 4 shards, on 1 or 8 threads.
+
+use alphasim_telemetry::global::{EVENT_QUEUE_PEAK, EVENT_QUEUE_SHARD_PEAKS, MAX_TRACKED_SHARDS};
+
+use crate::par::WorkerPool;
+use crate::time::{SimDuration, SimTime};
+
+/// Packed heap key: `time << 64 | tiebreak` — one `u128` comparison orders
+/// events by time, then tiebreak. Identical to the packing in
+/// [`EventQueue`](crate::EventQueue), which is what makes the sharded
+/// queue's pop order provably equal to the single queue's.
+#[inline]
+fn pack(at: SimTime, tiebreak: u64) -> u128 {
+    (u128::from(at.as_ps()) << 64) | u128::from(tiebreak)
+}
+
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_ps((key >> 64) as u64)
+}
+
+/// Push onto a 4-ary implicit min-heap (children of `i` at `4i+1..=4i+4`).
+fn heap_push<E>(heap: &mut Vec<(u128, E)>, key: u128, payload: E) {
+    heap.push((key, payload));
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 4;
+        if key < heap[parent].0 {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Pop the minimum off a 4-ary implicit min-heap.
+fn heap_pop<E>(heap: &mut Vec<(u128, E)>) -> Option<(u128, E)> {
+    if heap.is_empty() {
+        return None;
+    }
+    let entry = heap.swap_remove(0);
+    let len = heap.len();
+    if len > 1 {
+        let sifted = heap[0].0;
+        let mut i = 0;
+        loop {
+            let first = 4 * i + 1;
+            if first >= len {
+                break;
+            }
+            let end = (first + 4).min(len);
+            let mut best = first;
+            let mut bk = heap[first].0;
+            for (off, entry) in heap[first + 1..end].iter().enumerate() {
+                if entry.0 < bk {
+                    best = first + 1 + off;
+                    bk = entry.0;
+                }
+            }
+            if bk < sifted {
+                heap.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+    Some(entry)
+}
+
+/// A future-event list partitioned into per-region shards, with the exact
+/// pop order of a single [`EventQueue`](crate::EventQueue).
+///
+/// Every `schedule` draws from one shared insertion-sequence counter and
+/// `pop` removes the globally smallest `(time, seq)` key, so the pop
+/// sequence is independent of how events are assigned to shards — sharding
+/// changes *where* an event waits, never *when* it fires. What sharding
+/// adds is structure: per-shard high-water marks (the congestion signature
+/// of each torus region) and the partitioning a conservative parallel
+/// executor needs.
+///
+/// # Examples
+///
+/// ```
+/// use alphasim_kernel::shard::ShardedEventQueue;
+/// use alphasim_kernel::SimTime;
+///
+/// let mut q = ShardedEventQueue::new(2);
+/// q.schedule(1, SimTime::from_ps(10), 'b');
+/// q.schedule(0, SimTime::from_ps(5), 'a');
+/// assert_eq!(q.pop(), Some((SimTime::from_ps(5), 'a')));
+/// assert_eq!(q.pop(), Some((SimTime::from_ps(10), 'b')));
+/// ```
+pub struct ShardedEventQueue<E> {
+    shards: Vec<Vec<(u128, E)>>,
+    /// Shared across shards: the global FIFO order among simultaneous
+    /// events, exactly as in the unsharded queue.
+    next_seq: u64,
+    now: SimTime,
+    len: usize,
+    peak_len: usize,
+    shard_peaks: Vec<usize>,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// An empty queue with `shards` regions (at least one), positioned at
+    /// [`SimTime::ZERO`].
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedEventQueue {
+            shards: (0..shards).map(|_| Vec::new()).collect(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            len: 0,
+            peak_len: 0,
+            shard_peaks: vec![0; shards],
+        }
+    }
+
+    /// Number of region shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Schedule `payload` on `shard` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time or
+    /// `shard` is out of range.
+    pub fn schedule(&mut self, shard: usize, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={now}",
+            at = at,
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        heap_push(&mut self.shards[shard], pack(at, seq), payload);
+        self.len += 1;
+        if self.shards[shard].len() > self.shard_peaks[shard] {
+            self.shard_peaks[shard] = self.shards[shard].len();
+        }
+        if self.len > self.peak_len {
+            self.peak_len = self.len;
+        }
+    }
+
+    /// Remove and return the globally earliest event, advancing the clock
+    /// to its timestamp. `None` when every shard is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let mut best: Option<(usize, u128)> = None;
+        for (i, heap) in self.shards.iter().enumerate() {
+            if let Some(&(key, _)) = heap.first() {
+                if best.is_none_or(|(_, bk)| key < bk) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        let (shard, _) = best?;
+        let (key, payload) = heap_pop(&mut self.shards[shard])?;
+        self.len -= 1;
+        let time = unpack_time(key);
+        debug_assert!(time >= self.now);
+        self.now = time;
+        Some((time, payload))
+    }
+
+    /// Timestamp of the globally earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|h| h.first().map(|e| e.0))
+            .min()
+            .map(unpack_time)
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total pending events across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The most events held at once across all shards since construction
+    /// (or the last [`clear`](Self::clear)).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Per-shard high-water marks, indexed by shard id.
+    pub fn shard_peaks(&self) -> &[usize] {
+        &self.shard_peaks
+    }
+
+    /// Drop all pending events and rewind to [`SimTime::ZERO`], keeping
+    /// allocations (and flushing peaks to the process-wide gauges).
+    pub fn clear(&mut self) {
+        self.flush_peaks();
+        for heap in &mut self.shards {
+            heap.clear();
+        }
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.len = 0;
+    }
+
+    /// Publish high-water marks to the process-wide telemetry gauges and
+    /// reset the local counters. Shards beyond
+    /// [`MAX_TRACKED_SHARDS`] fold into the last gauge.
+    fn flush_peaks(&mut self) {
+        if self.peak_len > 0 {
+            EVENT_QUEUE_PEAK.record_max(self.peak_len as u64);
+            self.peak_len = 0;
+        }
+        for (i, peak) in self.shard_peaks.iter_mut().enumerate() {
+            if *peak > 0 {
+                EVENT_QUEUE_SHARD_PEAKS[i.min(MAX_TRACKED_SHARDS - 1)].record_max(*peak as u64);
+                *peak = 0;
+            }
+        }
+    }
+}
+
+impl<E> Drop for ShardedEventQueue<E> {
+    fn drop(&mut self) {
+        self.flush_peaks();
+    }
+}
+
+/// Read-and-reset the process-wide per-shard peak event-queue depths (the
+/// high-water marks flushed by every [`ShardedEventQueue`] since the last
+/// take), trimmed of trailing zeros. Index `i` is shard `i`'s peak; shards
+/// beyond [`MAX_TRACKED_SHARDS`] fold into the last entry. Empty when no
+/// sharded queue ran.
+pub fn take_shard_peak_depths() -> Vec<u64> {
+    let mut peaks: Vec<u64> = EVENT_QUEUE_SHARD_PEAKS.iter().map(|g| g.take()).collect();
+    while peaks.last() == Some(&0) {
+        peaks.pop();
+    }
+    peaks
+}
+
+impl<E> std::fmt::Debug for ShardedEventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEventQueue")
+            .field("shards", &self.shards.len())
+            .field("pending", &self.len)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+/// One shard's slice of simulation state in an epoch-parallel run.
+///
+/// The executor owns one worker per region; during an epoch each worker
+/// handles its region's events in `(time, tiebreak)` order and emits
+/// follow-up events through the [`Outbox`]. Workers are moved — never
+/// shared — between the coordinator and the pool threads, so a worker may
+/// freely mutate itself without any synchronization.
+pub trait ShardWorker: Send + 'static {
+    /// The event type this simulation processes.
+    type Event: Send + 'static;
+
+    /// Handle one event firing at `at`, emitting follow-ups via `out`.
+    fn handle(&mut self, at: SimTime, ev: Self::Event, out: &mut Outbox<Self::Event>);
+}
+
+/// Where a [`ShardWorker`] emits follow-up events.
+///
+/// Same-shard emissions may fire at any `at >= now` (they are merged into
+/// the shard's own heap and can still fire within the current epoch).
+/// Cross-shard emissions must respect the **lookahead contract**:
+/// `at >= now + lookahead`, where the lookahead is the minimum inter-region
+/// link latency. Violations panic immediately, naming the horizon — a
+/// too-close event could land in a peer region's already-executed past.
+///
+/// `tiebreak` orders simultaneous events and must be *shard-count
+/// invariant* (derived from simulation identities like node and per-node
+/// emission counters, never from shard ids or arrival order), or runs at
+/// different shard counts may diverge on ties.
+pub struct Outbox<E> {
+    home: usize,
+    now: SimTime,
+    lookahead: SimDuration,
+    local: Vec<(SimTime, u64, E)>,
+    remote: Vec<(usize, SimTime, u64, E)>,
+}
+
+impl<E> Outbox<E> {
+    /// Emit an event for `shard` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past, or if `shard` is not the emitting
+    /// shard and `at` is closer than the conservative lookahead horizon.
+    pub fn emit(&mut self, shard: usize, at: SimTime, tiebreak: u64, ev: E) {
+        assert!(
+            at >= self.now,
+            "event emitted into the past: {at} < {}",
+            self.now
+        );
+        if shard == self.home {
+            self.local.push((at, tiebreak, ev));
+        } else {
+            assert!(
+                at >= self.now + self.lookahead,
+                "lookahead violation: cross-shard event at {at} is closer than \
+                 {lookahead} to now={now} (shard {home} -> {shard})",
+                lookahead = self.lookahead,
+                now = self.now,
+                home = self.home,
+            );
+            self.remote.push((shard, at, tiebreak, ev));
+        }
+    }
+}
+
+/// One shard: its event heap, its owned worker state, and its epoch
+/// scratch. Moved wholesale through the pool's channels each epoch.
+struct ShardSlot<W: ShardWorker> {
+    heap: Vec<(u128, W::Event)>,
+    worker: W,
+    outbox: Outbox<W::Event>,
+    /// Exclusive processing bound for the current epoch.
+    bound: SimTime,
+    processed: u64,
+    peak: usize,
+}
+
+/// Process every local event strictly before the epoch bound, merging
+/// same-shard emissions back into the heap as it goes.
+fn run_slot<W: ShardWorker>(slot: &mut ShardSlot<W>) {
+    while let Some(&(key, _)) = slot.heap.first() {
+        let at = unpack_time(key);
+        if at >= slot.bound {
+            break;
+        }
+        let (_, ev) = heap_pop(&mut slot.heap).expect("peeked entry pops");
+        slot.outbox.now = at;
+        slot.worker.handle(at, ev, &mut slot.outbox);
+        slot.processed += 1;
+        while let Some((t, tb, e)) = slot.outbox.local.pop() {
+            heap_push(&mut slot.heap, pack(t, tb), e);
+        }
+        if slot.heap.len() > slot.peak {
+            slot.peak = slot.heap.len();
+        }
+    }
+}
+
+/// What one [`EpochExecutor::run_until_idle`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Barrier epochs executed.
+    pub epochs: u64,
+    /// Events processed per shard, indexed by shard id.
+    pub processed: Vec<u64>,
+    /// Per-shard event-heap high-water marks.
+    pub shard_peaks: Vec<usize>,
+}
+
+/// The conservative epoch scheduler: per-region workers advancing in
+/// lookahead-bounded epochs, exchanging cross-region events at barriers.
+///
+/// Each epoch the coordinator computes the global minimum next event time
+/// `t` and sets every shard's bound to `t + lookahead`; shards then process
+/// their local events below the bound — concurrently on the persistent
+/// [`WorkerPool`] when `threads > 1`, inline otherwise — and the barrier
+/// routes cross-shard emissions into their destination heaps in ascending
+/// source-shard order. Safety is the emission-time assertion in
+/// [`Outbox::emit`]: any event a shard emits for a peer fires at or after
+/// every bound the peer could have run to, so no shard ever receives an
+/// event in its past.
+///
+/// Serial and parallel execution produce identical results: the per-epoch
+/// work is a pure function of the owned slots, and barrier merge order is
+/// fixed. The choice of `threads` is purely a wall-clock knob.
+pub struct EpochExecutor<W: ShardWorker> {
+    slots: Vec<ShardSlot<W>>,
+    pool: Option<WorkerPool<ShardSlot<W>>>,
+    lookahead: SimDuration,
+    epochs: u64,
+}
+
+impl<W: ShardWorker> EpochExecutor<W> {
+    /// An executor over one worker per region, with the given conservative
+    /// `lookahead` (must be positive — a zero horizon cannot make
+    /// progress), running epochs on `threads` pool threads (1 = inline).
+    pub fn new(workers: Vec<W>, lookahead: SimDuration, threads: usize) -> Self {
+        assert!(!workers.is_empty(), "need at least one shard");
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative lookahead must be positive"
+        );
+        let slots: Vec<ShardSlot<W>> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, worker)| ShardSlot {
+                heap: Vec::new(),
+                worker,
+                outbox: Outbox {
+                    home: i,
+                    now: SimTime::ZERO,
+                    lookahead,
+                    local: Vec::new(),
+                    remote: Vec::new(),
+                },
+                bound: SimTime::ZERO,
+                processed: 0,
+                peak: 0,
+            })
+            .collect();
+        let pool = (threads > 1 && slots.len() > 1)
+            .then(|| WorkerPool::new(threads.min(slots.len()), run_slot::<W>));
+        EpochExecutor {
+            slots,
+            pool,
+            lookahead,
+            epochs: 0,
+        }
+    }
+
+    /// Number of region shards.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The conservative lookahead horizon in force.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Seed an initial event on `shard` (before or between runs).
+    pub fn seed(&mut self, shard: usize, at: SimTime, tiebreak: u64, ev: W::Event) {
+        heap_push(&mut self.slots[shard].heap, pack(at, tiebreak), ev);
+    }
+
+    /// Run barrier epochs until every shard's heap is empty.
+    pub fn run_until_idle(&mut self) -> EpochReport {
+        loop {
+            let min_next = self
+                .slots
+                .iter()
+                .filter_map(|s| s.heap.first().map(|e| unpack_time(e.0)))
+                .min();
+            let Some(t) = min_next else {
+                break;
+            };
+            let bound = t + self.lookahead;
+            for slot in &mut self.slots {
+                slot.bound = bound;
+            }
+            match &self.pool {
+                Some(pool) => {
+                    let taken = std::mem::take(&mut self.slots);
+                    self.slots = pool.run_round(taken);
+                }
+                None => {
+                    for slot in &mut self.slots {
+                        run_slot(slot);
+                    }
+                }
+            }
+            // Barrier: deliver cross-region events in ascending source-shard
+            // order — a fixed, shard-count-independent merge order.
+            for src in 0..self.slots.len() {
+                let remote = std::mem::take(&mut self.slots[src].outbox.remote);
+                for (dest, at, tb, ev) in remote {
+                    debug_assert!(at >= bound, "emit assertion admitted a past event");
+                    heap_push(&mut self.slots[dest].heap, pack(at, tb), ev);
+                }
+            }
+            self.epochs += 1;
+        }
+        EpochReport {
+            epochs: self.epochs,
+            processed: self.slots.iter().map(|s| s.processed).collect(),
+            shard_peaks: self.slots.iter().map(|s| s.peak).collect(),
+        }
+    }
+
+    /// Tear down the pool and return the workers (and whatever results they
+    /// accumulated), in shard order.
+    pub fn into_workers(mut self) -> Vec<W> {
+        self.pool = None; // join pool threads before dismantling the slots
+        self.slots.drain(..).map(|s| s.worker).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+
+    #[test]
+    fn pop_order_matches_single_queue_under_churn() {
+        // The construction proof, exercised: shared seq + global-min pop
+        // must reproduce EventQueue's order exactly, however events are
+        // assigned to shards.
+        for shards in [1usize, 2, 4, 7] {
+            let mut single = EventQueue::new();
+            let mut sharded = ShardedEventQueue::new(shards);
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut now = 0u64;
+            let mut next_id = 0u64;
+            for _ in 0..3_000 {
+                if rng() % 3 != 0 || single.is_empty() {
+                    let at = now + rng() % 89;
+                    single.schedule(SimTime::from_ps(at), next_id);
+                    sharded.schedule(next_id as usize % shards, SimTime::from_ps(at), next_id);
+                    next_id += 1;
+                } else {
+                    let a = single.pop().unwrap();
+                    let b = sharded.pop().unwrap();
+                    assert_eq!(a, b, "diverged at {shards} shards");
+                    now = a.0.as_ps();
+                }
+            }
+            loop {
+                match (single.pop(), sharded.pop()) {
+                    (None, None) => break,
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracks_global_and_per_shard_peaks() {
+        let mut q = ShardedEventQueue::new(2);
+        for i in 0..6u64 {
+            q.schedule(usize::from(i >= 4), SimTime::from_ps(i), i);
+        }
+        assert_eq!(q.peak_len(), 6);
+        assert_eq!(q.shard_peaks(), [4, 2]);
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert_eq!(q.peak_len(), 6, "peak survives drain");
+    }
+
+    #[test]
+    fn clear_rewinds_clock_and_flushes() {
+        let mut q = ShardedEventQueue::new(3);
+        q.schedule(2, SimTime::from_ps(10), ());
+        q.pop();
+        q.schedule(0, SimTime::from_ps(20), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(1, SimTime::from_ps(1), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = ShardedEventQueue::new(2);
+        q.schedule(0, SimTime::from_ps(10), ());
+        q.pop();
+        q.schedule(1, SimTime::from_ps(5), ());
+    }
+
+    /// A toy partitioned simulation for executor tests: messages hop around
+    /// a ring of `nodes` nodes, one hop per `HOP_PS`, each shard owning a
+    /// contiguous band of nodes and logging the deliveries that terminate
+    /// in its band.
+    struct RingWorker {
+        nodes: usize,
+        shards: usize,
+        hop_ps: u64,
+        log: Vec<(u64, u64)>,
+        emitted: u64,
+    }
+
+    #[derive(Clone)]
+    struct Hop {
+        msg: u64,
+        node: usize,
+        remaining: u32,
+    }
+
+    fn region_of(node: usize, nodes: usize, shards: usize) -> usize {
+        node * shards / nodes
+    }
+
+    impl ShardWorker for RingWorker {
+        type Event = Hop;
+
+        fn handle(&mut self, at: SimTime, ev: Hop, out: &mut Outbox<Hop>) {
+            if ev.remaining == 0 {
+                self.log.push((at.as_ps(), ev.msg));
+                return;
+            }
+            let next = (ev.node + 1) % self.nodes;
+            let dest = region_of(next, self.nodes, self.shards);
+            // Shard-count-invariant tiebreak: message id and hop countdown.
+            let tb = ev.msg * 1_000 + u64::from(ev.remaining);
+            self.emitted += 1;
+            out.emit(
+                dest,
+                at + SimDuration::from_ps(self.hop_ps),
+                tb,
+                Hop {
+                    msg: ev.msg,
+                    node: next,
+                    remaining: ev.remaining - 1,
+                },
+            );
+        }
+    }
+
+    fn run_ring(shards: usize, threads: usize, hop_ps: u64, lookahead_ps: u64) -> Vec<(u64, u64)> {
+        let nodes = 16;
+        let workers: Vec<RingWorker> = (0..shards)
+            .map(|_| RingWorker {
+                nodes,
+                shards,
+                hop_ps,
+                log: Vec::new(),
+                emitted: 0,
+            })
+            .collect();
+        let mut exec = EpochExecutor::new(workers, SimDuration::from_ps(lookahead_ps), threads);
+        for msg in 0..48u64 {
+            let node = (msg as usize * 5) % nodes;
+            exec.seed(
+                region_of(node, nodes, shards),
+                SimTime::from_ps(msg % 7),
+                msg,
+                Hop {
+                    msg,
+                    node,
+                    remaining: 3 + (msg % 9) as u32,
+                },
+            );
+        }
+        let report = exec.run_until_idle();
+        assert!(report.epochs > 0);
+        assert_eq!(report.processed.len(), shards);
+        let mut merged: Vec<(u64, u64)> = exec
+            .into_workers()
+            .into_iter()
+            .flat_map(|w| w.log)
+            .collect();
+        merged.sort_unstable();
+        assert_eq!(merged.len(), 48, "every message delivered exactly once");
+        merged
+    }
+
+    #[test]
+    fn executor_is_invariant_across_shard_and_thread_counts() {
+        let reference = run_ring(1, 1, 50, 50);
+        for shards in [2usize, 4] {
+            for threads in [1usize, 4] {
+                assert_eq!(
+                    run_ring(shards, threads, 50, 50),
+                    reference,
+                    "{shards} shards x {threads} threads diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn executor_accepts_lookahead_below_actual_link_latency() {
+        // The lookahead only needs to be conservative (<= the true minimum
+        // inter-region latency); a smaller horizon costs epochs, not
+        // correctness.
+        assert_eq!(run_ring(4, 2, 50, 20), run_ring(1, 1, 50, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn cross_shard_emission_inside_horizon_panics() {
+        // Claim a horizon larger than the hop latency: the first
+        // cross-region hop violates the contract and must be caught.
+        run_ring(4, 1, 10, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_lookahead_is_rejected() {
+        let workers = vec![RingWorker {
+            nodes: 4,
+            shards: 1,
+            hop_ps: 10,
+            log: Vec::new(),
+            emitted: 0,
+        }];
+        let _ = EpochExecutor::new(workers, SimDuration::ZERO, 1);
+    }
+}

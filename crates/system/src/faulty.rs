@@ -54,6 +54,10 @@ pub struct FaultCampaignConfig {
     /// Watchdog no-progress window (should exceed the retry timeout, or
     /// ordinary timeouts read as livelock).
     pub watchdog_window: SimDuration,
+    /// Event-queue region shards for the run (`0` = resolve via
+    /// [`alphasim_kernel::par::shards`]). Results are byte-identical at
+    /// any value; the shard map only repartitions the queue.
+    pub shards: usize,
 }
 
 impl Default for FaultCampaignConfig {
@@ -66,6 +70,7 @@ impl Default for FaultCampaignConfig {
             plan: FaultPlan::new(),
             retry: RetryPolicy::gs1280_default(),
             watchdog_window: SimDuration::from_us(200.0),
+            shards: 0,
         }
     }
 }
@@ -375,6 +380,14 @@ impl<T: Topology> FaultCampaign<T> {
             cfg.watchdog_window > cfg.retry.timeout,
             "watchdog window must exceed the retry timeout"
         );
+        let shards = if cfg.shards == 0 {
+            alphasim_kernel::par::shards()
+        } else {
+            cfg.shards
+        };
+        if shards > 1 {
+            self.net.set_shards(shards);
+        }
         self.net.install_fault_plan(&cfg.plan);
         let ncpus = self.cpus.len();
         let mut st = RunState {

@@ -69,6 +69,7 @@ pub struct Gs1280Builder {
     shuffle: Option<RoutePolicy>,
     striping: bool,
     mem_per_cpu: u64,
+    shards: usize,
 }
 
 impl Gs1280Builder {
@@ -94,6 +95,15 @@ impl Gs1280Builder {
     /// Memory per CPU in bytes (default 1 GiB).
     pub fn mem_per_cpu(mut self, bytes: u64) -> Self {
         self.mem_per_cpu = bytes;
+        self
+    }
+
+    /// Event-queue region shards for every [`network`](Gs1280::network)
+    /// this machine hands out (`0`, the default, resolves via
+    /// [`alphasim_kernel::par::shards`]). Sharding repartitions the queue
+    /// by torus row band without changing any result byte.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -125,6 +135,7 @@ impl Gs1280Builder {
             policy,
             map: AddressMap::new(self.cpus, self.mem_per_cpu, interleave),
             one_way,
+            shards: self.shards,
         }
     }
 }
@@ -138,6 +149,7 @@ pub struct Gs1280 {
     policy: RoutePolicy,
     map: AddressMap,
     one_way: Vec<Vec<SimDuration>>,
+    shards: usize,
 }
 
 impl Gs1280 {
@@ -149,6 +161,7 @@ impl Gs1280 {
             shuffle: None,
             striping: false,
             mem_per_cpu: 1 << 30,
+            shards: 0,
         }
     }
 
@@ -180,7 +193,16 @@ impl Gs1280 {
     /// A fresh network simulator over this machine's fabric and routing
     /// policy, for the loaded experiments (Figs. 15, 18, 23–26).
     pub fn network(&self) -> NetworkSim<FabricTopo> {
-        NetworkSim::with_policy(self.fabric.clone(), self.calib.timing, self.policy)
+        let mut net = NetworkSim::with_policy(self.fabric.clone(), self.calib.timing, self.policy);
+        let shards = if self.shards == 0 {
+            alphasim_kernel::par::shards()
+        } else {
+            self.shards
+        };
+        if shards > 1 {
+            net.set_shards(shards);
+        }
+        net
     }
 
     /// The fabric timing in force.

@@ -41,16 +41,16 @@ pub use trace::TraceSink;
 /// experiment or worker thread owns it. They never feed back into
 /// simulation behaviour, so their relaxed atomics cannot perturb results.
 pub mod global {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU64, Ordering}; // lint-allow: shared-mutable-state
 
     /// A process-wide high-water-mark gauge.
     #[derive(Debug)]
-    pub struct PeakGauge(AtomicU64);
+    pub struct PeakGauge(AtomicU64); // lint-allow: shared-mutable-state
 
     impl PeakGauge {
         /// A gauge starting at zero.
         pub const fn new() -> Self {
-            PeakGauge(AtomicU64::new(0))
+            PeakGauge(AtomicU64::new(0)) // lint-allow: shared-mutable-state
         }
 
         /// Raise the gauge to at least `value`.
@@ -78,6 +78,34 @@ pub mod global {
     /// Deepest simultaneous event count observed by any event queue in the
     /// process since the last [`PeakGauge::take`].
     pub static EVENT_QUEUE_PEAK: PeakGauge = PeakGauge::new();
+
+    /// Shard indices tracked by [`EVENT_QUEUE_SHARD_PEAKS`]. Sharded queues
+    /// with more regions than this fold the excess into the last gauge.
+    pub const MAX_TRACKED_SHARDS: usize = 16;
+
+    /// Per-region-shard high-water marks of sharded event queues, indexed
+    /// by shard id. Like [`EVENT_QUEUE_PEAK`] these are reporting-only and
+    /// merged commutatively (`max`), so the snapshot is byte-identical at
+    /// any worker count; `BENCH_sweep.json` records them next to the global
+    /// gauge.
+    pub static EVENT_QUEUE_SHARD_PEAKS: [PeakGauge; MAX_TRACKED_SHARDS] = [
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+        PeakGauge::new(),
+    ];
 
     #[cfg(test)]
     mod tests {

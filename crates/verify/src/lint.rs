@@ -17,6 +17,14 @@
 //! * **truncating-time-cast** — narrowing `as` casts applied to timing
 //!   arithmetic: picosecond counts overflow `u32` after ~4 ms of simulated
 //!   time and `as` wraps silently.
+//! * **raw-thread-spawn** — threads spawned outside the `kernel::par`
+//!   substrate: raw spawns make scheduling order part of the result.
+//!   `parallel_map` and `WorkerPool` pin result order to input order; they
+//!   are the only sanctioned way to go wide.
+//! * **shared-mutable-state** — `Mutex`/`RwLock`/atomics outside
+//!   `kernel::par`: state mutated from several threads replays in
+//!   scheduling order, not program order. Reporting-only gauges (which
+//!   never feed back into simulation) are annotated where they live.
 //!
 //! A finding on an audited, genuinely-legitimate line is silenced with a
 //! `// lint-allow: <rule>` comment on the same or the preceding line; the
@@ -33,7 +41,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// One lint rule: a name, the substrings that trigger it, an optional
-/// context requirement, and remediation advice.
+/// context requirement, an exempt-path list, and remediation advice.
 #[derive(Debug, Clone)]
 pub struct Rule {
     /// Rule name, as used in `lint-allow:` comments.
@@ -43,6 +51,10 @@ pub struct Rule {
     /// If set, a needle match only counts when the line also contains one
     /// of these (used to scope cast checks to timing arithmetic).
     context: Option<Vec<String>>,
+    /// Path substrings this rule does not apply to — the one module that
+    /// legitimately owns the hazardous construct (e.g. the parallelism
+    /// substrate for thread spawns).
+    exempt_paths: Vec<&'static str>,
     /// What to do instead.
     pub advice: &'static str,
 }
@@ -55,6 +67,11 @@ impl Rule {
                 .as_ref()
                 .is_none_or(|ctx| ctx.iter().any(|c| line.contains(c.as_str())))
     }
+
+    fn applies_to(&self, file: &Path) -> bool {
+        let file = file.to_string_lossy();
+        !self.exempt_paths.iter().any(|p| file.contains(p))
+    }
 }
 
 /// The rule set. Needles are concatenated at runtime so this source file
@@ -66,6 +83,7 @@ pub fn rules() -> Vec<Rule> {
             name: "hash-container",
             needles: vec![join(&["Hash", "Map"]), join(&["Hash", "Set"])],
             context: None,
+            exempt_paths: vec![],
             advice: "hash-ordered containers iterate in a per-process random order; \
                      keep simulation state in ordered containers (BTreeMap/BTreeSet)",
         },
@@ -73,6 +91,7 @@ pub fn rules() -> Vec<Rule> {
             name: "wall-clock",
             needles: vec![join(&["Instant", "::now"]), join(&["System", "Time"])],
             context: None,
+            exempt_paths: vec![],
             advice: "host time differs per run; use SimTime for model time, and \
                      annotate genuine self-timing harness code with lint-allow",
         },
@@ -85,6 +104,7 @@ pub fn rules() -> Vec<Rule> {
                 join(&["get", "random"]),
             ],
             context: None,
+            exempt_paths: vec![],
             advice: "OS-entropy randomness is unreplayable; derive every random \
                      choice from an explicitly seeded generator",
         },
@@ -102,9 +122,39 @@ pub fn rules() -> Vec<Rule> {
                 join(&["_", "ps"]),
                 join(&["ps", "()"]),
             ]),
+            exempt_paths: vec![],
             advice: "narrowing casts on picosecond arithmetic wrap silently after \
                      milliseconds of simulated time; stay in u64/u128 or use \
                      checked conversions",
+        },
+        Rule {
+            name: "raw-thread-spawn",
+            needles: vec![join(&["thread::", "spawn"]), join(&["scope.", "spawn"])],
+            context: None,
+            // The parallelism substrate is the one module allowed to spawn:
+            // its pool and ordered map are what everyone else must go
+            // through.
+            exempt_paths: vec!["crates/sim/src/par.rs"],
+            advice: "raw thread spawns make scheduling part of the result; route \
+                     parallel work through kernel::par (parallel_map or \
+                     WorkerPool), which pin result order to input order",
+        },
+        Rule {
+            name: "shared-mutable-state",
+            needles: vec![
+                join(&["Mutex", "<"]),
+                join(&["Mutex", "::"]),
+                join(&["RwLock", "<"]),
+                join(&["RwLock", "::"]),
+                join(&["Atomic", "U"]),
+                join(&["Atomic", "I"]),
+                join(&["Atomic", "Bool"]),
+            ],
+            context: None,
+            exempt_paths: vec!["crates/sim/src/par.rs"],
+            advice: "cross-thread mutable state makes results depend on scheduling; \
+                     keep state owned by one worker (kernel::par moves items, never \
+                     shares them) and annotate reporting-only gauges with lint-allow",
         },
     ]
 }
@@ -153,7 +203,7 @@ pub fn scan_source(file: &Path, src: &str, rules: &[Rule]) -> ScanOutcome {
             continue;
         }
         for rule in rules {
-            if !rule.matches(line) {
+            if !rule.applies_to(file) || !rule.matches(line) {
                 continue;
             }
             let allow = format!("{} {}", ALLOW_MARKER, rule.name);
@@ -279,6 +329,28 @@ mod tests {
         let out = scan("let mut rng = rand::thread_rng();\n");
         assert_eq!(out.findings.len(), 1);
         assert_eq!(out.findings[0].rule, "ambient-rng");
+    }
+
+    #[test]
+    fn raw_spawn_and_shared_state_are_flagged_outside_the_par_module() {
+        let spawn = scan("let h = std::thread::spawn(move || work());\n");
+        assert_eq!(spawn.findings.len(), 1);
+        assert_eq!(spawn.findings[0].rule, "raw-thread-spawn");
+        let shared = scan("static COUNT: AtomicU64 = AtomicU64::new(0);\n");
+        assert_eq!(shared.findings.len(), 1);
+        assert_eq!(shared.findings[0].rule, "shared-mutable-state");
+        let locked = scan("let m: Mutex<Vec<u64>> = Mutex::new(Vec::new());\n");
+        assert_eq!(locked.findings.len(), 1);
+        assert_eq!(locked.findings[0].rule, "shared-mutable-state");
+    }
+
+    #[test]
+    fn par_module_is_exempt_from_parallelism_rules() {
+        let src = "let h = std::thread::spawn(f);\nlet m = Mutex::new(0);\n";
+        let inside = scan_source(Path::new("crates/sim/src/par.rs"), src, &rules());
+        assert!(inside.findings.is_empty(), "{:?}", inside.findings);
+        let outside = scan_source(Path::new("crates/net/src/sim.rs"), src, &rules());
+        assert_eq!(outside.findings.len(), 2, "exemption is par.rs-only");
     }
 
     /// The real gate: the workspace as shipped has zero unexplained
