@@ -16,10 +16,11 @@
 
 use alphasim_kernel::{SimDuration, SimTime};
 use alphasim_telemetry::Registry;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// When and how often a lost transaction is retried.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// How long a transaction may stay unanswered before it is retried.
     pub timeout: SimDuration,

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod apps;
+pub mod chaos;
 pub mod latency;
 pub mod memory;
 pub mod network;

@@ -209,6 +209,30 @@ mod tests {
     }
 
     #[test]
+    fn sweep_scales_from_4x4_to_16x16() {
+        // The machine size is a real parameter: the same campaign drives
+        // the smallest torus the paper ships and the projected 16x16
+        // build, with the cut column scaling along.
+        let cuts = bisection_cuts(256, 3);
+        for (row, &(a, b)) in cuts.iter().enumerate() {
+            assert_eq!(a, row * 16 + 7);
+            assert_eq!(b, row * 16 + 8);
+        }
+        assert_survivable(256, &cuts);
+        let small = campaign_at(16, 1, 12);
+        let large = campaign_at(256, 1, 4);
+        assert_eq!(small.completed + small.poisoned.len() as u64, 16 * 12);
+        assert_eq!(
+            large.completed + large.poisoned.len() as u64,
+            256 * 4,
+            "every read on the 16x16 machine completes or poisons"
+        );
+        assert!(large.delivered_gbps > 0.0);
+        // Longer average routes on the big torus cost latency.
+        assert!(large.mean_latency > small.mean_latency);
+    }
+
+    #[test]
     fn campaign_degrades_gracefully_with_zero_hung_transactions() {
         let healthy = campaign_at(16, 0, 40);
         let wounded = campaign_at(16, 2, 40);

@@ -32,6 +32,18 @@ pub struct Link {
     granted: u64,
     /// Bytes moved per message class, indexed by `MessageClass::priority()`.
     class_bytes: [u64; 5],
+    /// Latency stretch for a degraded (slowed, not dead) channel; `1` when
+    /// healthy. Wire flight and serialization multiply by this.
+    degrade: u64,
+    /// Router pause/brownout: the channel may not start (or finish
+    /// releasing) a transfer before this instant. `SimTime::ZERO` when
+    /// healthy.
+    pause_until: SimTime,
+    /// Transient fault: the next granted flit is corrupted in flight, CRC
+    /// caught at the receiver, and retransmitted by the link layer.
+    corrupt_next: bool,
+    /// CRC-detected corruptions retransmitted on this channel so far.
+    crc_retransmits: u64,
 }
 
 impl Link {
@@ -49,6 +61,10 @@ impl Link {
             meter: UtilizationMeter::new(),
             granted: 0,
             class_bytes: [0; 5],
+            degrade: 1,
+            pause_until: SimTime::ZERO,
+            corrupt_next: false,
+            crc_retransmits: 0,
         }
     }
 
@@ -149,6 +165,68 @@ impl Link {
     pub fn class_bytes(&self, class: MessageClass) -> u64 {
         self.class_bytes[class.priority() as usize]
     }
+
+    /// Latency stretch factor; `1` for a healthy channel.
+    pub fn degrade_factor(&self) -> u64 {
+        self.degrade
+    }
+
+    /// Whether the channel is degraded (slowed, not dead).
+    pub fn is_degraded(&self) -> bool {
+        self.degrade > 1
+    }
+
+    /// Set the latency stretch factor (`1` restores full speed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn set_degrade(&mut self, factor: u64) {
+        assert!(factor >= 1, "degrade factor must be at least 1");
+        self.degrade = factor;
+    }
+
+    /// The instant a router pause on this channel lifts (`SimTime::ZERO`
+    /// when not paused).
+    pub fn pause_until(&self) -> SimTime {
+        self.pause_until
+    }
+
+    /// Extend the channel's pause window to at least `until`. Returns `true`
+    /// if the channel was idle and the caller must both treat it as busy and
+    /// schedule the release at `until` (a paused idle channel behaves like a
+    /// transfer with no message).
+    pub fn pause(&mut self, until: SimTime) -> bool {
+        self.pause_until = self.pause_until.max(until);
+        if self.busy {
+            false
+        } else {
+            self.busy = true;
+            true
+        }
+    }
+
+    /// Arm a transient: the next granted flit is corrupted and must be
+    /// retransmitted after CRC detection.
+    pub fn arm_corruption(&mut self) {
+        self.corrupt_next = true;
+    }
+
+    /// Consume the armed corruption, if any, counting the retransmit.
+    pub fn take_corruption(&mut self) -> bool {
+        if self.corrupt_next {
+            self.corrupt_next = false;
+            self.crc_retransmits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// CRC-detected corruptions retransmitted on this channel so far.
+    pub fn crc_retransmits(&self) -> u64 {
+        self.crc_retransmits
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +288,40 @@ mod tests {
         assert!((l.utilization(now) - 0.5).abs() < 1e-12);
         assert_eq!(l.class_bytes(MessageClass::Request), 64);
         assert_eq!(l.class_bytes(MessageClass::BlockResponse), 0);
+    }
+
+    #[test]
+    fn degrade_and_heal() {
+        let mut l = link();
+        assert_eq!(l.degrade_factor(), 1);
+        assert!(!l.is_degraded());
+        l.set_degrade(4);
+        assert!(l.is_degraded());
+        l.set_degrade(1);
+        assert!(!l.is_degraded());
+    }
+
+    #[test]
+    fn pause_marks_idle_channel_busy_once() {
+        let mut l = link();
+        let until = SimTime::ZERO + SimDuration::from_ns(100.0);
+        assert!(l.pause(until), "idle channel needs a scheduled release");
+        assert!(l.is_busy());
+        // Extending an already-paused (busy) channel must not double-book.
+        let later = SimTime::ZERO + SimDuration::from_ns(200.0);
+        assert!(!l.pause(later));
+        assert_eq!(l.pause_until(), later);
+        l.release();
+        assert!(!l.is_busy());
+    }
+
+    #[test]
+    fn corruption_fires_once() {
+        let mut l = link();
+        assert!(!l.take_corruption());
+        l.arm_corruption();
+        assert!(l.take_corruption());
+        assert!(!l.take_corruption(), "transient must not repeat");
+        assert_eq!(l.crc_retransmits(), 1);
     }
 }

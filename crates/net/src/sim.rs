@@ -58,6 +58,16 @@ pub enum FaultError {
         /// The endpoint it could no longer reach.
         to: NodeId,
     },
+    /// The link is in a state that rejects the requested transition (e.g.
+    /// degrading a dead link, or corrupting a flit on one).
+    BadState {
+        /// One end of the link.
+        a: NodeId,
+        /// The other end.
+        b: NodeId,
+        /// Why the transition is rejected.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for FaultError {
@@ -73,6 +83,9 @@ impl std::fmt::Display for FaultError {
                     f,
                     "failure would partition the fabric: {from} cannot reach {to}"
                 )
+            }
+            FaultError::BadState { a, b, what } => {
+                write!(f, "link {a}<->{b} {what}")
             }
         }
     }
@@ -352,6 +365,56 @@ impl<T: Topology> NetworkSim<T> {
         self.region.conservative_lookahead(&self.timing)
     }
 
+    /// Invariant monitor: recompute the route tables from scratch over the
+    /// live fabric and compare endpoint-pair distances against the tables in
+    /// force. `Err` describes the first divergence — the incremental
+    /// rebuild-on-fault machinery has let the tables rot.
+    pub fn audit_routes(&self) -> Result<(), String> {
+        let view = LiveView {
+            inner: &self.topo,
+            ports: &self.live_ports,
+        };
+        let fresh = Routes::compute(&view, self.policy);
+        let eps = self.topo.endpoints();
+        for &from in &eps {
+            for &to in &eps {
+                if from == to {
+                    continue;
+                }
+                let installed = self.routes.distance(from, 0, to);
+                let recomputed = fresh.distance(from, 0, to);
+                if installed != recomputed {
+                    return Err(format!(
+                        "route table inconsistent: {from}->{to} installed distance \
+                         {installed}, recomputed {recomputed}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant monitor: compare the incrementally maintained conservative
+    /// lookahead against the brute-force walk oracle over the live fabric.
+    /// `Err` describes the divergence — fault plumbing has desynced the
+    /// cross-region link accounting.
+    pub fn audit_lookahead(&self) -> Result<(), String> {
+        let view = LiveView {
+            inner: &self.topo,
+            ports: &self.live_ports,
+        };
+        let walked = crate::region::lookahead_by_walk(&view, &self.region, &self.timing);
+        let incremental = self.conservative_lookahead();
+        if walked == incremental {
+            Ok(())
+        } else {
+            Err(format!(
+                "conservative lookahead diverged from the oracle: incremental {incremental:?}, \
+                 brute-force walk {walked:?}"
+            ))
+        }
+    }
+
     /// Attach a Chrome-trace sink recording message lifetimes (one lane per
     /// source node) and link occupancy (one lane per directed link).
     /// Tracing changes nothing about the simulation itself — timestamps are
@@ -492,18 +555,26 @@ impl<T: Topology> NetworkSim<T> {
         Ok(())
     }
 
-    /// Repair the undirected link `a ↔ b` and recompute routes over the
-    /// healed fabric.
+    /// Repair the undirected link `a ↔ b`. A dead link comes back up (and
+    /// routes are recomputed over the healed fabric); a degraded link is
+    /// restored to full speed (no route change — degradation never rerouted
+    /// in the first place). A healthy full-speed link errs.
     pub fn restore_link(&mut self, a: NodeId, b: NodeId) -> Result<(), FaultError> {
         let (la, lb) = match (self.directed_link_id(a, b), self.directed_link_id(b, a)) {
             (Some(la), Some(lb)) => (la, lb),
             _ => return Err(FaultError::NoSuchLink { a, b }),
         };
         if self.links[la].is_alive() {
+            if self.links[la].is_degraded() || self.links[lb].is_degraded() {
+                self.links[la].set_degrade(1);
+                self.links[lb].set_degrade(1);
+                return Ok(());
+            }
             return Err(FaultError::AlreadyInState { a, b, alive: true });
         }
         for id in [la, lb] {
             self.links[id].set_alive(true);
+            self.links[id].set_degrade(1);
             self.region.directed_link_up(
                 self.links[id].from,
                 self.links[id].to,
@@ -515,12 +586,100 @@ impl<T: Topology> NetworkSim<T> {
         Ok(())
     }
 
+    /// Degrade the undirected link `a ↔ b`: it keeps carrying traffic, but
+    /// wire flight and serialization stretch by
+    /// [`alphasim_kernel::fault::DEGRADE_FACTOR`]. Routing does not react —
+    /// the paper's adaptive routing sees backlog, not wire health — so the
+    /// slow link visibly stretches latency instead of being detoured.
+    /// [`restore_link`](Self::restore_link) heals it.
+    pub fn degrade_link(&mut self, a: NodeId, b: NodeId) -> Result<(), FaultError> {
+        let (la, lb) = match (self.directed_link_id(a, b), self.directed_link_id(b, a)) {
+            (Some(la), Some(lb)) => (la, lb),
+            _ => return Err(FaultError::NoSuchLink { a, b }),
+        };
+        if !self.links[la].is_alive() {
+            return Err(FaultError::BadState {
+                a,
+                b,
+                what: "is dead; cannot degrade",
+            });
+        }
+        if self.links[la].is_degraded() {
+            return Err(FaultError::BadState {
+                a,
+                b,
+                what: "is already degraded",
+            });
+        }
+        self.links[la].set_degrade(alphasim_kernel::fault::DEGRADE_FACTOR);
+        self.links[lb].set_degrade(alphasim_kernel::fault::DEGRADE_FACTOR);
+        Ok(())
+    }
+
+    /// Arm a transient on the directed link `from -> to`: the next flit it
+    /// grants is corrupted in flight, caught by the receiver's CRC, and
+    /// retransmitted by the link layer — the message survives with one extra
+    /// transfer + wire flight of latency, counted in
+    /// [`crc_retransmit_count`](Self::crc_retransmit_count).
+    pub fn corrupt_next_flit(&mut self, from: NodeId, to: NodeId) -> Result<(), FaultError> {
+        let Some(id) = self.directed_link_id(from, to) else {
+            return Err(FaultError::NoSuchLink { a: from, b: to });
+        };
+        if !self.links[id].is_alive() {
+            return Err(FaultError::BadState {
+                a: from,
+                b: to,
+                what: "is dead; cannot corrupt a flit",
+            });
+        }
+        self.links[id].arm_corruption();
+        Ok(())
+    }
+
+    /// Brown out `node`'s router: every outbound link stalls until
+    /// `now + duration`, then drains its backlog. Nothing is dropped or
+    /// rerouted — a pause is pure added latency.
+    pub fn pause_router(&mut self, node: NodeId, duration: SimDuration) {
+        let until = self.now() + duration;
+        let shard = self.region.region_of(node);
+        for pi in 0..self.link_of[node.index()].len() {
+            let id = self.link_of[node.index()][pi];
+            if !self.links[id].is_alive() {
+                continue;
+            }
+            if self.links[id].pause(until) {
+                // The channel was idle: it now reads busy with nothing in
+                // flight, and this release at pause end restores the
+                // one-pending-LinkFree-per-busy-channel invariant.
+                self.events
+                    .schedule(shard, until, Event::LinkFree { link: id });
+            }
+        }
+    }
+
+    /// CRC-detected flit corruptions retransmitted fabric-wide so far.
+    pub fn crc_retransmit_count(&self) -> u64 {
+        self.links.iter().map(Link::crc_retransmits).sum()
+    }
+
+    /// Directed links currently degraded (slowed, not dead).
+    pub fn degraded_link_count(&self) -> usize {
+        self.links.iter().filter(|l| l.is_degraded()).count()
+    }
+
     /// Stop `node`'s CPU from sourcing new traffic; its router keeps
     /// forwarding (the wounded-EV7 behaviour). [`send`](Self::send) from a
     /// drained node panics, so closed-loop drivers must consult
     /// [`is_drained`](Self::is_drained).
     pub fn drain_node(&mut self, node: NodeId) {
         self.drained[node.index()] = true;
+    }
+
+    /// Resume `node`'s CPU as a traffic source after a drain (the repair
+    /// symmetry of [`drain_node`](Self::drain_node)). A no-op on a node that
+    /// was never drained.
+    pub fn undrain_node(&mut self, node: NodeId) {
+        self.drained[node.index()] = false;
     }
 
     /// Refresh `live_ports`/`live_link_of` from link liveness and recompute
@@ -671,6 +830,14 @@ impl<T: Topology> NetworkSim<T> {
                 Some(Step::Internal)
             }
             Event::LinkFree { link } => {
+                // A router pause extends the channel's hold: the release
+                // re-arms itself at the pause end instead of freeing early.
+                let until = self.links[link].pause_until();
+                if until > now {
+                    let shard = self.region.region_of(self.links[link].from);
+                    self.events.schedule(shard, until, Event::LinkFree { link });
+                    return Some(Step::Internal);
+                }
                 self.links[link].release();
                 if self.links[link].is_alive() && self.links[link].backlog() > 0 {
                     self.start_transfer(link, now);
@@ -691,10 +858,26 @@ impl<T: Topology> NetworkSim<T> {
                             panic!("fault plan could not be applied: {e}");
                         }
                     }
+                    FaultKind::LinkDegrade { a, b } => {
+                        let (a, b) = (NodeId::new(a), NodeId::new(b));
+                        if let Err(e) = self.degrade_link(a, b) {
+                            panic!("fault plan could not be applied: {e}");
+                        }
+                    }
+                    FaultKind::FlitCorrupt { from, to } => {
+                        let (from, to) = (NodeId::new(from), NodeId::new(to));
+                        if let Err(e) = self.corrupt_next_flit(from, to) {
+                            panic!("fault plan could not be applied: {e}");
+                        }
+                    }
                     FaultKind::NodeDrain { node } => self.drain_node(NodeId::new(node)),
+                    FaultKind::NodeUndrain { node } => self.undrain_node(NodeId::new(node)),
+                    FaultKind::RouterPause { node, ps } => {
+                        self.pause_router(NodeId::new(node), SimDuration::from_ps(ps));
+                    }
                     // Memory-channel faults belong to the Zbox layer; pass
                     // the strike through for the system driver to apply.
-                    FaultKind::ChannelDown { .. } => {}
+                    FaultKind::ChannelDown { .. } | FaultKind::ChannelUp { .. } => {}
                 }
                 Some(Step::Fault(kind))
             }
@@ -749,8 +932,16 @@ impl<T: Topology> NetworkSim<T> {
         let Some(msg) = self.links[link_id].grant() else {
             return;
         };
+        // A degraded link stretches everything paced by the wire — transfer
+        // occupancy, serialization, and flight — by a fixed factor (1 when
+        // healthy, so the arithmetic below is bit-identical to a fault-free
+        // build). An armed transient costs one extra transfer + flight: the
+        // receiver's CRC rejects the flit and the link layer resends it.
+        let stretch = self.links[link_id].degrade_factor();
+        let retransmit = self.links[link_id].take_corruption();
         let m = &mut self.msgs[msg.index()];
-        let transfer = SimDuration::transfer_time(m.bytes, self.timing.bandwidth_gbps);
+        let transfer =
+            SimDuration::transfer_time(m.bytes, self.timing.bandwidth_gbps).saturating_mul(stretch);
         let backlog = self.links[link_id].backlog() as u32;
         let penalty = SimDuration::from_ns(
             f64::from(backlog.min(self.timing.congestion_cap))
@@ -762,22 +953,39 @@ impl<T: Topology> NetworkSim<T> {
             m.serialized = true;
             transfer
         };
-        let wire = self.timing.wire(self.links[link_id].class);
-        let occupancy = transfer + penalty;
+        let wire = self
+            .timing
+            .wire(self.links[link_id].class)
+            .saturating_mul(stretch);
+        let resend = if retransmit {
+            transfer + wire
+        } else {
+            SimDuration::ZERO
+        };
+        let occupancy = transfer
+            + penalty
+            + if retransmit {
+                transfer
+            } else {
+                SimDuration::ZERO
+            };
         m.hops += 1;
         // Per-hop latency attribution. The arrival below fires at exactly
-        // grant + router + wire + serialization + penalty, so these integer
-        // picosecond charges sum to the end-to-end latency with no rounding.
-        // `enqueued_at` then moves to the arrival instant: the message joins
-        // its next output queue the moment it arrives, so the next hop's
-        // grant wait is measured from there (and an eviction re-route keeps
-        // accruing queue time against the same epoch).
+        // grant + router + wire + serialization + penalty (+ resend), so
+        // these integer picosecond charges sum to the end-to-end latency
+        // with no rounding. A retransmit is charged as a second
+        // serialization plus a second wire flight. `enqueued_at` then moves
+        // to the arrival instant: the message joins its next output queue
+        // the moment it arrives, so the next hop's grant wait is measured
+        // from there (and an eviction re-route keeps accruing queue time
+        // against the same epoch).
         m.acc.queued_ps += now.since(m.enqueued_at).as_ps();
         m.acc.router_ps += self.timing.router_latency.as_ps();
-        m.acc.wire_ps += wire.as_ps();
-        m.acc.serialization_ps += serialization.as_ps();
+        m.acc.wire_ps += wire.as_ps() + if retransmit { wire.as_ps() } else { 0 };
+        m.acc.serialization_ps +=
+            serialization.as_ps() + if retransmit { transfer.as_ps() } else { 0 };
         m.acc.congestion_ps += penalty.as_ps();
-        let arrive_at = now + self.timing.router_latency + wire + serialization + penalty;
+        let arrive_at = now + self.timing.router_latency + wire + serialization + penalty + resend;
         m.enqueued_at = arrive_at;
         let to = self.links[link_id].to;
         let (class, bytes, tag) = (m.class, m.bytes, m.tag);
@@ -1725,5 +1933,223 @@ mod tests {
             net.drain_deliveries()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn degraded_link_stretches_latency_and_sums_exactly() {
+        // One hop, no contention: a degraded link multiplies the wire and
+        // serialization terms by the stretch factor and nothing else, and
+        // the breakdown identity holds through the slowdown.
+        let timing = LinkTiming::ev7_torus();
+        let healthy = {
+            let mut net = sim4x4();
+            net.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageClass::Request,
+                64,
+                0,
+            );
+            net.drain_deliveries()[0].latency()
+        };
+        let mut net = sim4x4();
+        net.degrade_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(net.degraded_link_count(), 2, "both directions slow down");
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            64,
+            0,
+        );
+        let d = net.drain_deliveries();
+        let stretch = alphasim_kernel::fault::DEGRADE_FACTOR;
+        let expect =
+            timing.router_latency + (healthy - timing.router_latency).saturating_mul(stretch);
+        assert_eq!(d[0].latency(), expect);
+        assert_eq!(d[0].breakdown.total_ps(), d[0].latency().as_ps());
+        // Healing restores full speed without a topology rebuild.
+        net.restore_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(net.degraded_link_count(), 0);
+        net.send(
+            net.now(),
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            64,
+            1,
+        );
+        let d = net.drain_deliveries();
+        assert_eq!(d[0].latency(), healthy);
+    }
+
+    #[test]
+    fn degrade_errors_are_named() {
+        let mut net = sim4x4();
+        net.degrade_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(matches!(
+            net.degrade_link(NodeId::new(0), NodeId::new(1)),
+            Err(FaultError::BadState { .. })
+        ));
+        net.restore_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(
+            net.restore_link(NodeId::new(0), NodeId::new(1)),
+            Err(FaultError::AlreadyInState {
+                a: NodeId::new(0),
+                b: NodeId::new(1),
+                alive: true
+            })
+        );
+        net.fail_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(matches!(
+            net.degrade_link(NodeId::new(0), NodeId::new(1)),
+            Err(FaultError::BadState { .. })
+        ));
+        assert!(matches!(
+            net.corrupt_next_flit(NodeId::new(0), NodeId::new(1)),
+            Err(FaultError::BadState { .. })
+        ));
+    }
+
+    #[test]
+    fn crc_retransmit_costs_one_extra_transfer_and_flight() {
+        // A corrupted flit is caught by CRC at the receiver and retransmitted
+        // by the link layer: exactly one extra serialization plus one extra
+        // wire flight on that hop, charged so the identity still balances.
+        let healthy = {
+            let mut net = sim4x4();
+            net.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageClass::Request,
+                64,
+                0,
+            );
+            net.drain_deliveries()[0].latency()
+        };
+        let timing = LinkTiming::ev7_torus();
+        let mut net = sim4x4();
+        net.corrupt_next_flit(NodeId::new(0), NodeId::new(1))
+            .unwrap();
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            64,
+            0,
+        );
+        let d = net.drain_deliveries();
+        // Resend = transfer + wire = healthy minus the router pipeline.
+        assert_eq!(d[0].latency(), healthy + (healthy - timing.router_latency));
+        assert_eq!(d[0].breakdown.total_ps(), d[0].latency().as_ps());
+        assert_eq!(net.crc_retransmit_count(), 1);
+        // The transient fires once; the next flit flies clean.
+        net.send(
+            net.now(),
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            64,
+            1,
+        );
+        let d = net.drain_deliveries();
+        assert_eq!(d[0].latency(), healthy);
+        assert_eq!(net.crc_retransmit_count(), 1);
+    }
+
+    #[test]
+    fn router_pause_stalls_departures_until_the_window_lifts() {
+        let mut net = sim4x4();
+        let pause = SimDuration::from_ns(200.0);
+        net.pause_router(NodeId::new(0), pause);
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(0),
+            NodeId::new(1),
+            MessageClass::Request,
+            64,
+            0,
+        );
+        let d = net.drain_deliveries();
+        assert_eq!(d.len(), 1);
+        assert!(
+            d[0].delivered_at >= SimTime::ZERO + pause,
+            "delivery at {} must wait out the pause",
+            d[0].delivered_at
+        );
+        assert_eq!(d[0].breakdown.total_ps(), d[0].latency().as_ps());
+    }
+
+    #[test]
+    fn pausing_a_busy_router_extends_its_occupancy() {
+        // Pause struck mid-transfer: the in-flight message finishes, but the
+        // channel's release re-arms to the pause end, stalling the queue
+        // behind it. Everything still delivers and the identity holds.
+        let mut net = sim4x4();
+        for i in 0..10 {
+            net.send(
+                SimTime::ZERO,
+                NodeId::new(0),
+                NodeId::new(1),
+                MessageClass::Request,
+                64,
+                i,
+            );
+        }
+        let mut steps = 0;
+        let mut deliveries = Vec::new();
+        while let Some(step) = net.step() {
+            steps += 1;
+            if steps == 3 {
+                net.pause_router(NodeId::new(0), SimDuration::from_us(1.0));
+            }
+            if let Step::Delivered(d) = step {
+                deliveries.push(d);
+            }
+        }
+        assert_eq!(deliveries.len(), 10);
+        for d in &deliveries {
+            assert_eq!(d.breakdown.total_ps(), d.latency().as_ps(), "tag {}", d.tag);
+        }
+        let last = deliveries.iter().map(|d| d.delivered_at).max().unwrap();
+        assert!(
+            last >= SimTime::ZERO + SimDuration::from_us(1.0),
+            "the backlog must wait out the brownout"
+        );
+    }
+
+    #[test]
+    fn undrain_returns_a_node_to_service() {
+        let mut net = sim4x4();
+        net.drain_node(NodeId::new(3));
+        assert!(net.is_drained(NodeId::new(3)));
+        net.undrain_node(NodeId::new(3));
+        assert!(!net.is_drained(NodeId::new(3)));
+        // Undraining a healthy node is a no-op, not an error.
+        net.undrain_node(NodeId::new(3));
+        net.send(
+            SimTime::ZERO,
+            NodeId::new(3),
+            NodeId::new(0),
+            MessageClass::Request,
+            16,
+            0,
+        );
+        assert_eq!(net.drain_deliveries().len(), 1);
+    }
+
+    #[test]
+    fn audits_pass_on_healthy_and_wounded_fabrics() {
+        let mut net = sim4x4();
+        net.audit_routes().unwrap();
+        net.audit_lookahead().unwrap();
+        net.fail_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        net.degrade_link(NodeId::new(2), NodeId::new(3)).unwrap();
+        net.audit_routes().unwrap();
+        net.audit_lookahead().unwrap();
     }
 }

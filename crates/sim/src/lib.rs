@@ -16,7 +16,11 @@
 //!   conservative-lookahead epoch scheduler for parallelism *inside* one
 //!   run, byte-identical at any shard count;
 //! * [`FaultPlan`] — a seeded, time-sorted schedule of link/node/channel
-//!   failures for live fault-injection runs.
+//!   failures (and repairs, degradations, transients) for live
+//!   fault-injection runs;
+//! * [`chaos`] — seeded fault-schedule fuzzing: random legal plan
+//!   generation from a [`chaos::ChaosConfig`] distribution, legality
+//!   validation, and QuickCheck-style shrink transformations.
 //!
 //! # Examples
 //!
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod chaos;
 mod event;
 pub mod fault;
 pub mod par;

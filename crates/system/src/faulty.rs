@@ -9,6 +9,15 @@
 //! after bounded-backoff retries) or is poisoned with a named cause** —
 //! nothing hangs silently, and a kernel-level watchdog reports the stuck
 //! set if delivery progress ever stops for a whole window.
+//!
+//! [`FaultCampaign::run_monitored`] arms the always-on invariant monitors
+//! on top of the same loop: hung-transaction detection (with watchdog
+//! escalation so a broken recovery path cannot hang the harness), the
+//! retry bound, poison hygiene, window-refill integrity, route-table and
+//! conservative-lookahead audits after every strike, and the telemetry
+//! exact-sum identity. A [`RecoveryMutation`] deliberately breaks one
+//! recovery path so the chaos engine can prove those monitors catch real
+//! bugs and that the shrinker minimizes the schedule that exposed them.
 
 use alphasim_cache::Addr;
 use alphasim_coherence::{LivelockReport, PendingSet, PendingTx, RetryPolicy, Watchdog};
@@ -19,11 +28,109 @@ use alphasim_net::{Delivery, MessageClass, NetworkSim, Step};
 use alphasim_telemetry::trace::PID_MEMORY;
 use alphasim_telemetry::{BreakdownTable, HopBreakdown, Registry, TraceSink};
 use alphasim_topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Reserved timer tag for the watchdog tick (request tags are
 /// `cpu << 32 | seq` and can never collide with it).
 const WATCHDOG_TAG: u64 = u64::MAX;
+
+/// Consecutive no-progress watchdog windows a monitored run tolerates
+/// before declaring the pending set hung and stopping. Healthy retry
+/// chains deliver something well inside one window, so three silent
+/// windows in a row can only mean transactions that will never move.
+const STUCK_WINDOW_LIMIT: u32 = 3;
+
+/// A deliberately broken recovery path. Chaos campaigns run each mutation
+/// to prove the invariant monitors catch the breakage and the shrinker
+/// minimizes the schedule that exposed it — mutation testing for the
+/// robustness contract itself. Only honoured by
+/// [`FaultCampaign::run_monitored`]; the plain entry points refuse
+/// mutations because a broken recovery path can hang an unmonitored run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryMutation {
+    /// Timer expiries are ignored: lost transactions are never retried or
+    /// poisoned and hang forever.
+    IgnoreTimeouts,
+    /// Poisoning skips the pending-set removal: the abandoned entry leaks.
+    LeakPoison,
+    /// A poisoned read does not refill its CPU's window slot, silently
+    /// shrinking the issue window.
+    SkipWindowRefill,
+    /// Transactions get one more attempt than the retry policy allows.
+    OffByOneRetry,
+}
+
+impl RecoveryMutation {
+    /// Every mutation, in a fixed order.
+    pub const ALL: [RecoveryMutation; 4] = [
+        RecoveryMutation::IgnoreTimeouts,
+        RecoveryMutation::LeakPoison,
+        RecoveryMutation::SkipWindowRefill,
+        RecoveryMutation::OffByOneRetry,
+    ];
+
+    /// Stable identifier (CLI argument, reproducer field).
+    pub fn id(self) -> &'static str {
+        match self {
+            RecoveryMutation::IgnoreTimeouts => "ignore-timeouts",
+            RecoveryMutation::LeakPoison => "leak-poison",
+            RecoveryMutation::SkipWindowRefill => "skip-window-refill",
+            RecoveryMutation::OffByOneRetry => "off-by-one-retry",
+        }
+    }
+
+    /// Parse a stable identifier back to the mutation.
+    pub fn from_id(id: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.id() == id)
+    }
+}
+
+/// One invariant violation observed by the always-on monitors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which monitor fired (`hung-transactions`, `retry-bound`,
+    /// `poison-leak`, `window-refill`, `issue-quota`, `route-consistency`,
+    /// `lookahead-oracle`, `telemetry-balance`, `accounting`).
+    pub monitor: String,
+    /// What it saw.
+    pub detail: String,
+}
+
+/// What the always-on monitors observed over one monitored run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// Every violation, in detection order. Empty on a healthy machine.
+    pub violations: Vec<Violation>,
+    /// Highest attempt count any transaction reached (bounded by
+    /// `max_retries + 1` when the retry machinery is intact).
+    pub max_attempts: u32,
+}
+
+impl MonitorReport {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Monitor scratch state threaded through a monitored run.
+struct MonitorState {
+    violations: Vec<Violation>,
+    consecutive_stuck_windows: u32,
+    /// Per-CPU: whether the node was ever drained (exempts it from the
+    /// window-refill and issue-quota checks).
+    ever_drained: Vec<bool>,
+}
+
+impl MonitorState {
+    fn violate(&mut self, monitor: &str, detail: String) {
+        self.violations.push(Violation {
+            monitor: monitor.to_string(),
+            detail,
+        });
+    }
+}
 
 /// How campaign CPUs pick the home of each read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +165,10 @@ pub struct FaultCampaignConfig {
     /// [`alphasim_kernel::par::shards`]). Results are byte-identical at
     /// any value; the shard map only repartitions the queue.
     pub shards: usize,
+    /// Deliberately broken recovery path for mutation testing (`None` =
+    /// intact machinery). Only honoured by
+    /// [`FaultCampaign::run_monitored`].
+    pub mutation: Option<RecoveryMutation>,
 }
 
 impl Default for FaultCampaignConfig {
@@ -71,6 +182,7 @@ impl Default for FaultCampaignConfig {
             retry: RetryPolicy::gs1280_default(),
             watchdog_window: SimDuration::from_us(200.0),
             shards: 0,
+            mutation: None,
         }
     }
 }
@@ -107,6 +219,9 @@ pub struct CampaignResult {
     pub watchdog_reports: Vec<LivelockReport>,
     /// Faults that actually struck, in strike order.
     pub faults_applied: Vec<FaultKind>,
+    /// Link-layer CRC retransmissions triggered by transient flit
+    /// corruption.
+    pub crc_retransmits: u64,
     /// Mean end-to-end read latency (first issue to data return, across
     /// every retry).
     pub mean_latency: SimDuration,
@@ -213,6 +328,16 @@ impl TelemetryCollector {
     /// sum exactly to `e2e_ps`; anything the stages cannot explain (retry
     /// backoff, time lost with a dropped packet) lands in the
     /// `unattributed` stage, so the table always balances.
+    ///
+    /// The response-leg stages, the directory lookup that produced this
+    /// response, and the front end always lie on the completing path. The
+    /// parked request leg might not: retransmits reuse the transaction tag,
+    /// so a racing retry served while the first attempt's response was
+    /// already in flight overwrites the leg with stages that ran
+    /// *concurrently* with the completing trip. Charging those would
+    /// overshoot `e2e_ps` and break the exact-sum invariant (found by the
+    /// chaos fuzzer under hair-trigger timeouts), so a leg that no longer
+    /// fits inside the end-to-end budget is left unattributed instead.
     fn on_complete(
         &mut self,
         tag: u64,
@@ -222,38 +347,47 @@ impl TelemetryCollector {
         e2e_ps: u64,
     ) {
         let mut known = 0u64;
-        if let Some(leg) = self.legs.remove(&tag) {
-            for (stage, ps) in [
-                ("request: queue + arbitration", leg.request.queued_ps),
-                ("request: router pipeline", leg.request.router_ps),
-                ("request: wire flight", leg.request.wire_ps),
-                ("request: link serialization", leg.request.serialization_ps),
-                ("request: congestion penalty", leg.request.congestion_ps),
-                ("directory lookup (fixed)", directory_ps),
-                ("zbox queue", leg.zbox_queue_ps),
-                (
-                    if leg.page_hit {
-                        "dram open page"
-                    } else {
-                        "dram closed page"
-                    },
-                    leg.dram_ps,
-                ),
-            ] {
-                self.breakdown.charge(stage, ps);
-                known += ps;
-            }
-        }
         for (stage, ps) in [
             ("response: queue + arbitration", response.queued_ps),
             ("response: router pipeline", response.router_ps),
             ("response: wire flight", response.wire_ps),
             ("response: link serialization", response.serialization_ps),
             ("response: congestion penalty", response.congestion_ps),
+            ("directory lookup (fixed)", directory_ps),
             ("front end (fixed)", front_ps),
         ] {
             self.breakdown.charge(stage, ps);
             known += ps;
+        }
+        if let Some(leg) = self.legs.remove(&tag) {
+            let leg_total = leg.request.queued_ps
+                + leg.request.router_ps
+                + leg.request.wire_ps
+                + leg.request.serialization_ps
+                + leg.request.congestion_ps
+                + leg.zbox_queue_ps
+                + leg.dram_ps;
+            if known + leg_total <= e2e_ps {
+                for (stage, ps) in [
+                    ("request: queue + arbitration", leg.request.queued_ps),
+                    ("request: router pipeline", leg.request.router_ps),
+                    ("request: wire flight", leg.request.wire_ps),
+                    ("request: link serialization", leg.request.serialization_ps),
+                    ("request: congestion penalty", leg.request.congestion_ps),
+                    ("zbox queue", leg.zbox_queue_ps),
+                    (
+                        if leg.page_hit {
+                            "dram open page"
+                        } else {
+                            "dram closed page"
+                        },
+                        leg.dram_ps,
+                    ),
+                ] {
+                    self.breakdown.charge(stage, ps);
+                    known += ps;
+                }
+            }
         }
         self.breakdown.charge(
             "unattributed (retry / backoff)",
@@ -271,6 +405,11 @@ struct RunState {
     pending: PendingSet,
     dog_armed: bool,
     poisoned: Vec<PoisonedTx>,
+    /// Highest attempt count any transaction reached (always tracked; it
+    /// is one integer max per retry).
+    max_attempts: u32,
+    /// Present on monitored runs only.
+    monitor: Option<MonitorState>,
 }
 
 /// A machine prepared for fault-injection load testing: a network with
@@ -345,9 +484,37 @@ impl<T: Topology> FaultCampaign<T> {
     }
 
     /// Run the campaign to completion. Panics (loudly, by design) if the
-    /// fault plan would partition the fabric.
+    /// fault plan would partition the fabric, or if `cfg` carries a
+    /// [`RecoveryMutation`] — a broken recovery path can hang an
+    /// unmonitored run, so mutations require
+    /// [`run_monitored`](Self::run_monitored).
     pub fn run(self, cfg: &FaultCampaignConfig) -> CampaignResult {
-        self.run_inner(cfg, None).0
+        assert!(
+            cfg.mutation.is_none(),
+            "recovery mutations require run_monitored"
+        );
+        self.run_inner(cfg, None, false).0
+    }
+
+    /// Run the campaign with the always-on invariant monitors armed: hung
+    /// transactions (with watchdog escalation, so even a broken recovery
+    /// path terminates), the retry bound, poison hygiene, window-refill
+    /// integrity, issue quotas, route-table and conservative-lookahead
+    /// audits after every strike, the telemetry exact-sum identity, and
+    /// issue accounting. Violations are reported rather than panicked so
+    /// the chaos engine can shrink the schedule that exposed them.
+    /// `cfg.mutation` is honoured here, and only here.
+    pub fn run_monitored(
+        self,
+        cfg: &FaultCampaignConfig,
+    ) -> (CampaignResult, CampaignTelemetry, MonitorReport) {
+        let (result, telemetry, report) =
+            self.run_inner(cfg, Some(TelemetryCollector::new()), true);
+        (
+            result,
+            telemetry.expect("collector was provided"),
+            report.expect("monitoring was requested"),
+        )
     }
 
     /// Run the campaign with telemetry collection: component counters, the
@@ -360,13 +527,17 @@ impl<T: Topology> FaultCampaign<T> {
         cfg: &FaultCampaignConfig,
         trace: bool,
     ) -> (CampaignResult, CampaignTelemetry) {
+        assert!(
+            cfg.mutation.is_none(),
+            "recovery mutations require run_monitored"
+        );
         if trace {
             self.net.enable_trace();
             if let Some(sink) = self.net.trace_mut() {
                 sink.name_process(PID_MEMORY, "memory: zbox dram service");
             }
         }
-        let (result, telemetry) = self.run_inner(cfg, Some(TelemetryCollector::new()));
+        let (result, telemetry, _) = self.run_inner(cfg, Some(TelemetryCollector::new()), false);
         (result, telemetry.expect("collector was provided"))
     }
 
@@ -374,7 +545,12 @@ impl<T: Topology> FaultCampaign<T> {
         mut self,
         cfg: &FaultCampaignConfig,
         mut collector: Option<TelemetryCollector>,
-    ) -> (CampaignResult, Option<CampaignTelemetry>) {
+        monitored: bool,
+    ) -> (
+        CampaignResult,
+        Option<CampaignTelemetry>,
+        Option<MonitorReport>,
+    ) {
         assert!(cfg.outstanding >= 1, "need at least one outstanding read");
         assert!(
             cfg.watchdog_window > cfg.retry.timeout,
@@ -398,6 +574,12 @@ impl<T: Topology> FaultCampaign<T> {
             pending: PendingSet::new(),
             dog_armed: false,
             poisoned: Vec::new(),
+            max_attempts: 0,
+            monitor: monitored.then(|| MonitorState {
+                violations: Vec::new(),
+                consecutive_stuck_windows: 0,
+                ever_drained: vec![false; ncpus],
+            }),
         };
         let mut dog = Watchdog::new(cfg.watchdog_window);
         let mut latencies = MeanP99::new();
@@ -417,6 +599,9 @@ impl<T: Topology> FaultCampaign<T> {
             match step {
                 Step::Delivered(d) => {
                     dog.note_progress(now);
+                    if let Some(m) = st.monitor.as_mut() {
+                        m.consecutive_stuck_windows = 0;
+                    }
                     last_delivery = last_delivery.max(now);
                     match d.class {
                         MessageClass::Request => {
@@ -489,8 +674,35 @@ impl<T: Topology> FaultCampaign<T> {
                 Step::Timer(WATCHDOG_TAG) => {
                     st.dog_armed = false;
                     if !st.pending.is_empty() {
-                        if let Some(report) = dog.check(now, &st.pending) {
-                            reports.push(report);
+                        let stuck = match dog.check(now, &st.pending) {
+                            Some(report) => {
+                                reports.push(report);
+                                true
+                            }
+                            None => false,
+                        };
+                        // Watchdog escalation: a monitored run stops after
+                        // enough silent windows instead of re-arming
+                        // forever, so a hung pending set is reported as a
+                        // violation rather than hanging the harness.
+                        if let Some(m) = st.monitor.as_mut() {
+                            if stuck {
+                                m.consecutive_stuck_windows += 1;
+                                if m.consecutive_stuck_windows >= STUCK_WINDOW_LIMIT {
+                                    let tags: Vec<u64> =
+                                        st.pending.iter().map(|(tag, _)| tag).collect();
+                                    m.violate(
+                                        "hung-transactions",
+                                        format!(
+                                            "no delivery for {STUCK_WINDOW_LIMIT} watchdog \
+                                             windows; stuck tags {tags:x?}"
+                                        ),
+                                    );
+                                    break;
+                                }
+                            } else {
+                                m.consecutive_stuck_windows = 0;
+                            }
                         }
                         self.net.set_timer(now + cfg.watchdog_window, WATCHDOG_TAG);
                         st.dog_armed = true;
@@ -498,25 +710,111 @@ impl<T: Topology> FaultCampaign<T> {
                 }
                 Step::Timer(tag) => {
                     let overdue = st.pending.get(tag).is_some_and(|tx| tx.deadline <= now);
-                    if overdue {
+                    // IgnoreTimeouts mutation: the expiry is dropped on the
+                    // floor, so lost transactions hang — which the
+                    // hung-transaction monitor must catch.
+                    if overdue && cfg.mutation != Some(RecoveryMutation::IgnoreTimeouts) {
                         self.retry_or_poison(cfg, tag, &mut st);
                     }
                 }
                 Step::Fault(kind) => {
-                    if let FaultKind::ChannelDown { node } = kind {
-                        self.zboxes[node].fail_channel();
+                    match kind {
+                        FaultKind::ChannelDown { node } => self.zboxes[node].fail_channel(),
+                        // Repair symmetry for the RDRAM channel loss;
+                        // tolerate a stray repair on a healthy Zbox.
+                        FaultKind::ChannelUp { node }
+                            if self.zboxes[node].failed_channels() > 0 =>
+                        {
+                            self.zboxes[node].restore_channel();
+                        }
+                        FaultKind::NodeDrain { node } => {
+                            if let Some(m) = st.monitor.as_mut() {
+                                if let Some(cpu) = self.cpus.iter().position(|c| c.index() == node)
+                                {
+                                    m.ever_drained[cpu] = true;
+                                }
+                            }
+                        }
+                        FaultKind::NodeUndrain { node } => {
+                            // The node resumes service: refill its issue
+                            // window so it works toward its quota again.
+                            if let Some(cpu) = self.cpus.iter().position(|c| c.index() == node) {
+                                let inflight = st
+                                    .pending
+                                    .iter()
+                                    .filter(|&(tag, _)| (tag >> 32) as usize == cpu)
+                                    .count();
+                                for _ in inflight..cfg.outstanding {
+                                    self.inject_next(cfg, cpu, now, &mut st);
+                                }
+                            }
+                        }
+                        _ => {}
                     }
                     faults_applied.push(kind);
+                    // After every strike the route tables and the sharded
+                    // queue's conservative lookahead must agree with their
+                    // brute-force oracles.
+                    if st.monitor.is_some() {
+                        if let Err(why) = self.net.audit_routes() {
+                            if let Some(m) = st.monitor.as_mut() {
+                                m.violate("route-consistency", why);
+                            }
+                        }
+                        if let Err(why) = self.net.audit_lookahead() {
+                            if let Some(m) = st.monitor.as_mut() {
+                                m.violate("lookahead-oracle", why);
+                            }
+                        }
+                    }
                 }
                 Step::Internal => {}
             }
         }
 
-        assert!(
-            st.pending.is_empty(),
-            "hung transactions survived the drain: {:?}",
-            st.pending.iter().map(|(tag, _)| tag).collect::<Vec<_>>()
-        );
+        if let Some(m) = st.monitor.as_mut() {
+            if !st.pending.is_empty() && m.consecutive_stuck_windows < STUCK_WINDOW_LIMIT {
+                let tags: Vec<u64> = st.pending.iter().map(|(tag, _)| tag).collect();
+                m.violate(
+                    "hung-transactions",
+                    format!("survived the drain: tags {tags:x?}"),
+                );
+            }
+            // Issue quota: a CPU that was never drained must have issued
+            // its full budget (a silently shrinking window stalls early).
+            for cpu in 0..ncpus {
+                if !m.ever_drained[cpu]
+                    && !self.net.is_drained(self.cpus[cpu])
+                    && st.issued[cpu] < cfg.requests_per_cpu as u64
+                {
+                    m.violate(
+                        "issue-quota",
+                        format!(
+                            "cpu {cpu} issued {} of {} reads without ever draining",
+                            st.issued[cpu], cfg.requests_per_cpu
+                        ),
+                    );
+                }
+            }
+            // Accounting: every issued read is completed, poisoned, or
+            // (already reported above) still pending.
+            let accounted = st.pending.completed()
+                + st.poisoned.len() as u64
+                + st.pending.iter().count() as u64;
+            let issued: u64 = st.issued.iter().sum();
+            if accounted != issued {
+                m.violate(
+                    "accounting",
+                    format!("completed + poisoned + pending = {accounted} but issued = {issued}"),
+                );
+            }
+        } else {
+            assert!(
+                st.pending.is_empty(),
+                "hung transactions survived the drain: {:?}",
+                st.pending.iter().map(|(tag, _)| tag).collect::<Vec<_>>()
+            );
+        }
 
         let completed = st.pending.completed();
         let (mean_latency, p99_latency) = latencies.finish();
@@ -562,6 +860,25 @@ impl<T: Topology> FaultCampaign<T> {
                 trace: self.net.take_trace(),
             }
         });
+        // Telemetry exact-sum: the breakdown must balance to the last
+        // picosecond even on a wounded run (shortfall lands in the
+        // unattributed bucket, never vanishes).
+        if let (Some(m), Some(t)) = (st.monitor.as_mut(), telemetry.as_ref()) {
+            if t.breakdown.charged_ps() != t.breakdown.end_to_end_ps() {
+                m.violate(
+                    "telemetry-balance",
+                    format!(
+                        "charged {} ps != end-to-end {} ps",
+                        t.breakdown.charged_ps(),
+                        t.breakdown.end_to_end_ps()
+                    ),
+                );
+            }
+        }
+        let report = st.monitor.take().map(|m| MonitorReport {
+            violations: m.violations,
+            max_attempts: st.max_attempts,
+        });
         let result = CampaignResult {
             completed,
             retries: st.pending.retries(),
@@ -570,13 +887,14 @@ impl<T: Topology> FaultCampaign<T> {
             poisoned: st.poisoned,
             watchdog_reports: reports,
             faults_applied,
+            crc_retransmits: self.net.crc_retransmit_count(),
             mean_latency,
             p99_latency,
             delivered_gbps,
             steady_gbps,
             elapsed,
         };
-        (result, telemetry)
+        (result, telemetry, report)
     }
 
     fn inject(&mut self, cfg: &FaultCampaignConfig, cpu: usize, at: SimTime, st: &mut RunState) {
@@ -630,11 +948,19 @@ impl<T: Topology> FaultCampaign<T> {
         };
         let now = self.net.now();
         let src = NodeId::new(tx.src);
+        // OffByOneRetry mutation: the poison threshold slips by one, so
+        // transactions overrun the retry bound — which the retry-bound
+        // monitor must catch on the extra attempt.
+        let max_retries = if cfg.mutation == Some(RecoveryMutation::OffByOneRetry) {
+            cfg.retry.max_retries + 1
+        } else {
+            cfg.retry.max_retries
+        };
         let cause = if self.net.is_drained(src) {
             Some(format!("source cpu {} drained mid-flight", tx.src))
         } else if self.net.is_drained(NodeId::new(tx.home)) {
             Some(format!("home node {} drained; memory unreachable", tx.home))
-        } else if tx.attempts > cfg.retry.max_retries {
+        } else if tx.attempts > max_retries {
             Some(format!(
                 "exhausted {} retries (timeout {} per attempt)",
                 cfg.retry.max_retries, cfg.retry.timeout
@@ -643,7 +969,20 @@ impl<T: Topology> FaultCampaign<T> {
             None
         };
         if let Some(cause) = cause {
-            st.pending.poison(tag).expect("checked above");
+            st.max_attempts = st.max_attempts.max(tx.attempts);
+            if cfg.mutation == Some(RecoveryMutation::LeakPoison) {
+                // Deliberately broken: the abandoned entry stays pending.
+            } else {
+                st.pending.poison(tag).expect("checked above");
+            }
+            if let Some(m) = st.monitor.as_mut() {
+                if st.pending.get(tag).is_some() {
+                    m.violate(
+                        "poison-leak",
+                        format!("tag {tag:#x} still pending after poisoning"),
+                    );
+                }
+            }
             st.poisoned.push(PoisonedTx {
                 tag,
                 cpu: (tag >> 32) as usize,
@@ -651,13 +990,55 @@ impl<T: Topology> FaultCampaign<T> {
                 attempts: tx.attempts,
                 cause,
             });
-            self.inject_next(cfg, (tag >> 32) as usize, now, st);
+            let cpu = (tag >> 32) as usize;
+            if cfg.mutation == Some(RecoveryMutation::SkipWindowRefill) {
+                // Deliberately broken: the freed window slot is not refilled.
+            } else {
+                self.inject_next(cfg, cpu, now, st);
+            }
+            // Window integrity: a live, never-drained CPU with quota left
+            // must run a full window after the slot is recycled.
+            let ever_drained = st.monitor.as_ref().is_some_and(|m| m.ever_drained[cpu]);
+            if st.monitor.is_some()
+                && !ever_drained
+                && !self.net.is_drained(self.cpus[cpu])
+                && st.issued[cpu] < cfg.requests_per_cpu as u64
+            {
+                let inflight = st
+                    .pending
+                    .iter()
+                    .filter(|&(t, _)| (t >> 32) as usize == cpu)
+                    .count();
+                if inflight < cfg.outstanding {
+                    if let Some(m) = st.monitor.as_mut() {
+                        m.violate(
+                            "window-refill",
+                            format!(
+                                "cpu {cpu} runs {inflight} of {} window slots after a poison",
+                                cfg.outstanding
+                            ),
+                        );
+                    }
+                }
+            }
             return;
         }
         let backoff = cfg.retry.backoff(tx.attempts);
         let resend_at = now + backoff;
         let deadline = resend_at + cfg.retry.timeout;
-        st.pending.retry(tag, deadline);
+        let attempts = st.pending.retry(tag, deadline);
+        st.max_attempts = st.max_attempts.max(attempts);
+        if attempts > cfg.retry.max_retries + 1 {
+            if let Some(m) = st.monitor.as_mut() {
+                m.violate(
+                    "retry-bound",
+                    format!(
+                        "tag {tag:#x} reached attempt {attempts}; the policy allows {}",
+                        cfg.retry.max_retries + 1
+                    ),
+                );
+            }
+        }
         self.net.send(
             resend_at,
             src,
@@ -942,5 +1323,256 @@ mod tests {
         assert_eq!(c.bisection_partner(1), 2);
         assert_eq!(c.bisection_partner(5), 6);
         assert_eq!(c.bisection_partner(12), 15);
+    }
+
+    fn at_us(us: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_us(us)
+    }
+
+    #[test]
+    fn link_flapping_across_retry_boundaries_recovers() {
+        // fail -> heal -> fail -> heal on two links, with the second cut
+        // landing a full retry timeout (10 us) after the first repair, so
+        // transactions cross every phase of the cycle. Everything must
+        // complete; the healed machine must finish the drain.
+        let mut plan = FaultPlan::new();
+        plan.push(at_us(1.0), FaultKind::LinkDown { a: 0, b: 1 });
+        plan.push(at_us(2.0), FaultKind::LinkDown { a: 5, b: 6 });
+        plan.push(at_us(3.0), FaultKind::LinkUp { a: 0, b: 1 });
+        plan.push(at_us(6.0), FaultKind::LinkUp { a: 5, b: 6 });
+        plan.push(at_us(14.0), FaultKind::LinkDown { a: 0, b: 1 });
+        plan.push(at_us(16.0), FaultKind::LinkUp { a: 0, b: 1 });
+        let r = campaign16().run(&FaultCampaignConfig {
+            outstanding: 8,
+            requests_per_cpu: 550,
+            plan,
+            ..Default::default()
+        });
+        assert_eq!(r.completed, 16 * 550, "healed links drain everything");
+        assert!(r.poisoned.is_empty(), "flaps recover without poisons");
+        assert_eq!(r.faults_applied.len(), 6);
+        assert!(r.dropped + r.rerouted > 0, "the flaps hit live traffic");
+        assert!(r.retries > 0, "lost responses push reads into retry");
+    }
+
+    #[test]
+    fn channel_loss_and_restore_cycles_under_load() {
+        let mut plan = FaultPlan::new();
+        plan.push(at_us(1.0), FaultKind::ChannelDown { node: 0 });
+        plan.push(at_us(1.2), FaultKind::ChannelDown { node: 0 });
+        plan.push(at_us(5.0), FaultKind::ChannelUp { node: 0 });
+        plan.push(at_us(8.0), FaultKind::ChannelDown { node: 5 });
+        let r = campaign16().run(&FaultCampaignConfig {
+            requests_per_cpu: 60,
+            plan,
+            ..Default::default()
+        });
+        assert_eq!(r.completed, 16 * 60, "channel churn slows, never loses");
+        assert_eq!(r.faults_applied.len(), 4);
+        assert!(r.poisoned.is_empty());
+    }
+
+    #[test]
+    fn undrained_cpu_resumes_and_finishes_its_quota() {
+        let mut plan = FaultPlan::new();
+        plan.push(at_us(1.0), FaultKind::NodeDrain { node: 3 });
+        plan.push(at_us(40.0), FaultKind::NodeUndrain { node: 3 });
+        let r = campaign16().run(&FaultCampaignConfig {
+            outstanding: 4,
+            requests_per_cpu: 80,
+            plan,
+            ..Default::default()
+        });
+        // The drain poisons some in-flight reads, but once the node comes
+        // back its window refills and every CPU works off its whole quota.
+        assert_eq!(
+            r.completed + r.poisoned.len() as u64,
+            16 * 80,
+            "the undrained cpu must finish its quota"
+        );
+        assert!(
+            !r.poisoned.is_empty(),
+            "reads touching the node during the outage must poison"
+        );
+        assert_eq!(r.faults_applied.len(), 2);
+    }
+
+    #[test]
+    fn heal_mid_backoff_resumes_without_watchdog_noise() {
+        // The node drains at 1 us and heals at 30 us — before the 50 us
+        // retry timeout of the reads black-holed during the outage. The
+        // victims are still waiting out their timeout when the fault
+        // clears; their retries then land on live memory, everything
+        // completes with zero poisons, and the watchdog never reports
+        // livelock.
+        let mut plan = FaultPlan::new();
+        plan.push(at_us(1.0), FaultKind::NodeDrain { node: 3 });
+        plan.push(at_us(30.0), FaultKind::NodeUndrain { node: 3 });
+        let r = campaign16().run(&FaultCampaignConfig {
+            outstanding: 6,
+            requests_per_cpu: 120,
+            plan,
+            retry: RetryPolicy {
+                timeout: SimDuration::from_us(50.0),
+                backoff_base: SimDuration::from_us(2.0),
+                backoff_cap: SimDuration::from_us(32.0),
+                max_retries: 6,
+            },
+            watchdog_window: SimDuration::from_us(250.0),
+            ..Default::default()
+        });
+        assert_eq!(r.completed, 16 * 120, "healed retries complete everything");
+        assert!(r.poisoned.is_empty(), "the heal beats every retry budget");
+        assert!(r.retries > 0, "the outage must push reads into retry");
+        assert!(
+            r.watchdog_reports.is_empty(),
+            "retries keep making progress"
+        );
+    }
+
+    #[test]
+    fn transient_corruption_retransmits_and_completes() {
+        let mut plan = FaultPlan::new();
+        plan.push(at_us(1.0), FaultKind::FlitCorrupt { from: 0, to: 1 });
+        plan.push(at_us(2.0), FaultKind::LinkDegrade { a: 2, b: 3 });
+        plan.push(
+            at_us(3.0),
+            FaultKind::RouterPause {
+                node: 5,
+                ps: SimDuration::from_us(2.0).as_ps(),
+            },
+        );
+        let r = campaign16().run(&FaultCampaignConfig {
+            requests_per_cpu: 100,
+            plan,
+            ..Default::default()
+        });
+        assert_eq!(r.completed, 16 * 100);
+        assert!(r.poisoned.is_empty(), "transients never lose transactions");
+        assert_eq!(
+            r.crc_retransmits, 1,
+            "the armed flit is resent exactly once"
+        );
+        assert_eq!(r.faults_applied.len(), 3);
+    }
+
+    #[test]
+    fn monitored_run_is_clean_and_matches_plain_run() {
+        let cfg = || {
+            let mut plan = FaultPlan::new();
+            plan.push(at_us(1.0), FaultKind::LinkDown { a: 0, b: 1 });
+            plan.push(at_us(20.0), FaultKind::LinkUp { a: 0, b: 1 });
+            FaultCampaignConfig {
+                outstanding: 6,
+                requests_per_cpu: 60,
+                plan,
+                ..Default::default()
+            }
+        };
+        let plain = campaign16().run(&cfg());
+        let (monitored, t, report) = campaign16().run_monitored(&cfg());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.max_attempts <= RetryPolicy::gs1280_default().max_retries + 1);
+        assert_eq!(plain.completed, monitored.completed);
+        assert_eq!(plain.retries, monitored.retries);
+        assert_eq!(plain.mean_latency, monitored.mean_latency);
+        assert_eq!(plain.elapsed, monitored.elapsed);
+        assert_eq!(t.breakdown.charged_ps(), t.breakdown.end_to_end_ps());
+    }
+
+    #[test]
+    #[should_panic(expected = "require run_monitored")]
+    fn plain_run_refuses_mutations() {
+        campaign16().run(&FaultCampaignConfig {
+            mutation: Some(RecoveryMutation::LeakPoison),
+            ..Default::default()
+        });
+    }
+
+    /// A config whose 1 ps timeout poisons every remote read on its first
+    /// attempt — the deterministic stage for the poison-path mutations.
+    fn instant_poison_cfg(mutation: RecoveryMutation) -> FaultCampaignConfig {
+        FaultCampaignConfig {
+            requests_per_cpu: 10,
+            retry: RetryPolicy {
+                timeout: SimDuration::from_ps(1),
+                max_retries: 0,
+                ..RetryPolicy::gs1280_default()
+            },
+            mutation: Some(mutation),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn monitor_catches_off_by_one_retry() {
+        let (_, _, report) =
+            campaign16().run_monitored(&instant_poison_cfg(RecoveryMutation::OffByOneRetry));
+        assert!(
+            report.violations.iter().any(|v| v.monitor == "retry-bound"),
+            "the extra attempt must trip the retry bound: {:?}",
+            report.violations
+        );
+        assert!(
+            report.max_attempts > 1,
+            "the mutation grants a second attempt"
+        );
+    }
+
+    #[test]
+    fn monitor_catches_poison_leak() {
+        let (_, _, report) =
+            campaign16().run_monitored(&instant_poison_cfg(RecoveryMutation::LeakPoison));
+        assert!(
+            report.violations.iter().any(|v| v.monitor == "poison-leak"),
+            "the leaked entry must be seen immediately: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn monitor_catches_skipped_window_refill() {
+        let (_, _, report) =
+            campaign16().run_monitored(&instant_poison_cfg(RecoveryMutation::SkipWindowRefill));
+        let monitors: Vec<&str> = report
+            .violations
+            .iter()
+            .map(|v| v.monitor.as_str())
+            .collect();
+        assert!(
+            monitors.contains(&"window-refill"),
+            "the shrunken window must be seen at the poison: {monitors:?}"
+        );
+        assert!(
+            monitors.contains(&"issue-quota"),
+            "the stalled quota must be seen at the drain: {monitors:?}"
+        );
+    }
+
+    #[test]
+    fn monitor_catches_ignored_timeouts_as_hung_transactions() {
+        // A drained home plus ignored timer expiries: reads to the dead
+        // node are never retried or poisoned. The watchdog escalation must
+        // stop the run and name the hang instead of spinning forever.
+        let mut plan = FaultPlan::new();
+        plan.push(at_us(1.0), FaultKind::NodeDrain { node: 3 });
+        let (r, _, report) = campaign16().run_monitored(&FaultCampaignConfig {
+            requests_per_cpu: 60,
+            plan,
+            mutation: Some(RecoveryMutation::IgnoreTimeouts),
+            ..Default::default()
+        });
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.monitor == "hung-transactions"),
+            "violations: {:?}",
+            report.violations
+        );
+        assert!(
+            r.completed < 16 * 60,
+            "wedged windows keep some quota unfinished"
+        );
     }
 }

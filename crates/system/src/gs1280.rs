@@ -66,6 +66,7 @@ impl Topology for FabricTopo {
 #[derive(Debug, Clone)]
 pub struct Gs1280Builder {
     cpus: usize,
+    shape: Option<(usize, usize)>,
     shuffle: Option<RoutePolicy>,
     striping: bool,
     mem_per_cpu: u64,
@@ -73,9 +74,20 @@ pub struct Gs1280Builder {
 }
 
 impl Gs1280Builder {
-    /// Number of CPUs (one of the paper's machine sizes: 2–64).
+    /// Number of CPUs (one of the paper's machine sizes: 2–64, plus the
+    /// projected 128 and 256). Clears any explicit [`shape`](Self::shape).
     pub fn cpus(mut self, cpus: usize) -> Self {
         self.cpus = cpus;
+        self.shape = None;
+        self
+    }
+
+    /// Explicit torus dimensions (`cols` × `rows` CPUs), for shapes
+    /// outside the standard [`cpus`](Self::cpus) table — e.g. resilience
+    /// studies that scale the fabric one axis at a time.
+    pub fn shape(mut self, cols: usize, rows: usize) -> Self {
+        self.cpus = cols * rows;
+        self.shape = Some((cols, rows));
         self
     }
 
@@ -114,7 +126,10 @@ impl Gs1280Builder {
     /// Panics on unsupported CPU counts, or when shuffle is requested for a
     /// shape the rewiring does not support (fewer than 4 columns).
     pub fn build(self) -> Gs1280 {
-        let torus = Torus2D::for_cpus(self.cpus);
+        let torus = match self.shape {
+            Some((cols, rows)) => Torus2D::new(cols, rows),
+            None => Torus2D::for_cpus(self.cpus),
+        };
         let (fabric, policy) = match self.shuffle {
             None => (FabricTopo::Torus(torus), RoutePolicy::Minimal),
             Some(policy) => (
@@ -158,6 +173,7 @@ impl Gs1280 {
     pub fn builder() -> Gs1280Builder {
         Gs1280Builder {
             cpus: 16,
+            shape: None,
             shuffle: None,
             striping: false,
             mem_per_cpu: 1 << 30,

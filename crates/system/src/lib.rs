@@ -30,6 +30,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod calibration;
+pub mod chaos;
 mod coherent;
 mod es45;
 pub mod faulty;
@@ -40,11 +41,15 @@ pub mod loadtest;
 pub mod path;
 
 pub use calibration::{Calibration, MachineKind};
+pub use chaos::{
+    catalog_for, replay, replay_healthy, run_chaos, ChaosOptions, ChaosReport, ChaosTrial,
+    Reproducer,
+};
 pub use coherent::{CoherentMachine, CoherentOutcome, CoherentStats, MachineModel, ServiceClass};
 pub use es45::{Es45, Sc45};
 pub use faulty::{
     gs1280_fault_campaign, CampaignPattern, CampaignResult, CampaignTelemetry, FaultCampaign,
-    FaultCampaignConfig, PoisonedTx,
+    FaultCampaignConfig, MonitorReport, PoisonedTx, RecoveryMutation, Violation,
 };
 pub use gs1280::{FabricTopo, Gs1280, Gs1280Builder};
 pub use gs320::Gs320;

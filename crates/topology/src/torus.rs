@@ -58,7 +58,8 @@ impl Torus2D {
 
     /// The standard configuration for `cpus` processors, matching the
     /// paper's machine sizes: 4 → 2×2, 8 → 4×2, 16 → 4×4, 32 → 8×4,
-    /// 64 → 8×8.
+    /// 64 → 8×8, plus the projected larger builds 128 → 16×8 and
+    /// 256 → 16×16 (the paper's §7 scaling discussion).
     ///
     /// # Panics
     ///
@@ -71,6 +72,8 @@ impl Torus2D {
             16 => (4, 4),
             32 => (8, 4),
             64 => (8, 8),
+            128 => (16, 8),
+            256 => (16, 16),
             _ => panic!("unsupported GS1280 size: {cpus} CPUs"),
         };
         Torus2D::new(cols, rows)

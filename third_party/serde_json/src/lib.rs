@@ -1,8 +1,10 @@
 //! Vendored, dependency-free subset of `serde_json`.
 //!
 //! Provides the slice of the API the workspace uses — [`Value`],
-//! [`to_value`], [`to_string`], [`to_string_pretty`], and the [`json!`]
-//! macro — over the value model defined in the vendored `serde` crate.
+//! [`to_value`], [`to_string`], [`to_string_pretty`], [`from_str`], and the
+//! [`json!`] macro — over the value model defined in the vendored `serde`
+//! crate. Parsing stops at [`Value`]; callers that need typed data decode
+//! the tree by hand (the vendored `Deserialize` is a marker trait).
 //!
 //! Output formatting matches upstream `serde_json` (compact and 2-space
 //! pretty printers, sorted object keys, integers without a decimal point,
@@ -44,6 +46,219 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     let mut out = String::new();
     write_value(&mut out, &value.to_json_value(), Some("  "), 0);
     Ok(out)
+}
+
+/// Parse JSON text into a [`Value`] tree.
+///
+/// A strict recursive-descent parser over the standard grammar: objects,
+/// arrays, strings with `\uXXXX` escapes, numbers (integers stay integral,
+/// as [`Number`] distinguishes them), booleans, and `null`. Trailing
+/// garbage, trailing commas, and unpaired surrogates are errors.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), Error> {
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected {:?} at byte {}", ch as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    expect(bytes, pos, b'{')?;
+    let mut map = std::collections::BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(Error(format!("expected ',' or '}}' at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(Error(format!("expected ',' or ']' at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // High surrogate: a \uXXXX low surrogate must follow.
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(Error("unpaired surrogate".into()));
+                            }
+                            let lo = parse_hex4(bytes, *pos + 3)?;
+                            *pos += 6;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error("unpaired surrogate".into()));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error("invalid \\u escape".into()))?,
+                        );
+                    }
+                    _ => return Err(Error(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(Error(format!("unescaped control byte at {}", *pos)));
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (the input is a &str, so boundaries
+                // are sound).
+                let start = *pos;
+                let mut end = start + 1;
+                while end < bytes.len() && bytes[end] & 0xC0 == 0x80 {
+                    end += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..end])
+                        .map_err(|_| Error("invalid UTF-8".into()))?,
+                );
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, Error> {
+    if at + 4 > bytes.len() {
+        return Err(Error("truncated \\u escape".into()));
+    }
+    let text =
+        std::str::from_utf8(&bytes[at..at + 4]).map_err(|_| Error("invalid \\u escape".into()))?;
+    u32::from_str_radix(text, 16).map_err(|_| Error("invalid \\u escape".into()))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error("invalid number".into()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("invalid number at byte {start}")));
+    }
+    let integral = !text.contains(['.', 'e', 'E']);
+    if integral {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(n) = stripped.parse::<i64>().map(|n| -n) {
+                return Ok(Value::Number(Number::NegInt(n)));
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::PosInt(n)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|x| Value::Number(Number::Float(x)))
+        .map_err(|_| Error(format!("invalid number {text:?}")))
 }
 
 /// Build a [`Value`] from a JSON-like literal. Supports the object, array,
@@ -196,6 +411,39 @@ mod tests {
             let s = to_string(&x).unwrap();
             assert_eq!(s, want, "formatting {x}");
         }
+    }
+
+    #[test]
+    fn parser_round_trips_what_the_printer_emits() {
+        let site = json!({ "a": 0_u64, "b": 1_u64 });
+        let kind = json!({ "LinkDown": site });
+        let event = json!({ "at": 1000_u64, "kind": kind });
+        let v = json!({
+            "name": "chaos-seed7",
+            "count": 18446744073709551615_u64,
+            "neg": -42_i64,
+            "pi": 3.25_f64,
+            "flag": true,
+            "missing": Value::Null,
+            "plan": json!([event]),
+            "empty": Vec::<u64>::new()
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&text).unwrap(), v, "parsing {text}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_rejects_garbage() {
+        let v = from_str("\"a\\n\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\nA😀"));
+        assert!(from_str("{\"a\":1,}").is_err(), "trailing comma");
+        assert!(from_str("[1, 2] tail").is_err(), "trailing garbage");
+        assert!(from_str("\"open").is_err(), "unterminated string");
+        assert!(from_str("01x").is_err(), "malformed number tail");
+        assert!(from_str("\"\\ud800\"").is_err(), "unpaired surrogate");
+        assert_eq!(from_str(" 42 ").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-7").unwrap().as_f64(), Some(-7.0));
     }
 
     #[test]
