@@ -23,6 +23,13 @@
 //!   on a single-core host they can only lose — run this bench on a
 //!   multi-core machine to see the crossover (with 4 cores it sits between
 //!   `cost64` and `cost512` for this workload shape).
+//!
+//! * **Closed-loop crossover** — the real thing: a resilience-shaped
+//!   [`FaultCampaignConfig`] (bisection traffic, mid-run link cuts, retry
+//!   machinery live) on the epoch engine at threads × shards combinations.
+//!   `1threads_1shard` is the committed sweep's configuration;
+//!   `1threads_4shards` isolates epoch-batched stepping on one core; the
+//!   multi-thread rows locate the closed loop's crossover on the host.
 
 // Test/harness code may unwrap freely; the workspace denies it in libraries.
 #![allow(clippy::unwrap_used)]
@@ -31,8 +38,9 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use alphasim::kernel::shard::{EpochExecutor, Outbox, ShardWorker};
-use alphasim::kernel::{DetRng, EventQueue, SimDuration, SimTime};
+use alphasim::kernel::{DetRng, EventQueue, FaultKind, FaultPlan, SimDuration, SimTime};
 use alphasim::net::{LinkTiming, MessageClass, NetworkSim};
+use alphasim::system::{gs1280_fault_campaign, CampaignPattern, FaultCampaignConfig, Gs1280};
 use alphasim::topology::{NodeId, Torus2D};
 
 /// Drain an 8x8 torus with every node sending `per_node` requests to node 0
@@ -211,6 +219,49 @@ fn epoch_run(msgs: u64, hops: u32, cost: u32, shards: u32, threads: usize) -> u6
     exec.into_workers().iter().fold(0, |a, w| a ^ w.acc)
 }
 
+/// One real closed-loop resilience-shaped campaign on the epoch engine:
+/// bisection mirror traffic on an 8x8 GS1280 torus, two bisection links cut
+/// mid-run, the full retry/watchdog machinery live. This is the production
+/// path the `resilience` and `chaos` artifacts run on, so this bench — not
+/// the synthetic crossover above — is where the closed loop's threads ×
+/// shards speedup (or single-core overhead) is tracked.
+fn campaign_run(threads: usize, shards: usize, requests: usize) -> u64 {
+    let machine = Gs1280::builder().cpus(64).build();
+    let campaign = gs1280_fault_campaign(&machine);
+    let mut plan = FaultPlan::new();
+    plan.push(
+        SimTime::ZERO + SimDuration::from_ns(400.0),
+        FaultKind::LinkDown { a: 3, b: 4 },
+    );
+    plan.push(
+        SimTime::ZERO + SimDuration::from_ns(800.0),
+        FaultKind::LinkDown { a: 11, b: 12 },
+    );
+    let cfg = FaultCampaignConfig {
+        outstanding: 2,
+        requests_per_cpu: requests,
+        pattern: CampaignPattern::Bisection,
+        plan,
+        shards,
+        threads,
+        ..FaultCampaignConfig::default()
+    };
+    campaign.run(&cfg).completed
+}
+
+fn bench_closed_loop_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharding");
+    let requests = 25usize;
+    g.throughput(Throughput::Elements(64 * requests as u64));
+    for (threads, shards) in [(1usize, 1usize), (1, 4), (2, 4), (4, 4)] {
+        g.bench_function(
+            format!("closed_loop_resilience_{threads}threads_{shards}shards"),
+            |b| b.iter(|| black_box(campaign_run(threads, shards, requests))),
+        );
+    }
+    g.finish();
+}
+
 fn bench_epoch_crossover(c: &mut Criterion) {
     let mut g = c.benchmark_group("sharding");
     let (msgs, hops) = (64u64, 40u32);
@@ -231,5 +282,10 @@ fn bench_epoch_crossover(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_network_sharding, bench_epoch_crossover);
+criterion_group!(
+    benches,
+    bench_network_sharding,
+    bench_epoch_crossover,
+    bench_closed_loop_crossover
+);
 criterion_main!(benches);

@@ -2,10 +2,15 @@
 //! seeded recovery-path mutation is caught and shrunk.
 //!
 //! ```text
-//! chaos run    [--trials N] [--seed S]         fuzz the intact machine
-//! chaos replay <dir-or-file> ...               re-run committed reproducers
-//! chaos mutate <mutation-id> [--write DIR]     catch + shrink a seeded bug
+//! chaos run    [--trials N] [--seed S] [--threads N]   fuzz the intact machine
+//! chaos replay <dir-or-file> ...                       re-run committed reproducers
+//! chaos mutate <mutation-id> [--write DIR] [--threads N]  catch + shrink a seeded bug
 //! ```
+//!
+//! `--threads N` drives each trial's epoch-parallel closed loop with N pool
+//! threads (`ALPHASIM_THREADS` is the environment equivalent; `--threads 0`
+//! means all available cores). Results are byte-identical at any value —
+//! threads only change which core advances each torus region.
 //!
 //! `run` draws N seeded random fault schedules (every fault kind: cuts,
 //! repairs, degradations, transient corruption, drains, brownouts, RDRAM
@@ -49,10 +54,31 @@ fn parse_or_die(value: Option<String>, flag: &str, default: u64) -> u64 {
     }
 }
 
+/// Resolve `--threads`: absent → 0 (defer to `ALPHASIM_THREADS`, then 1);
+/// `--threads 0` → all available cores; otherwise the given count.
+fn threads_arg(args: &[String]) -> usize {
+    match flag_value(args, "--threads") {
+        None => 0,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("--threads wants a number, got {v:?}"));
+            if n == 0 {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            } else {
+                n
+            }
+        }
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let opts = ChaosOptions {
         trials: parse_or_die(flag_value(args, "--trials"), "--trials", 50) as usize,
         base_seed: parse_or_die(flag_value(args, "--seed"), "--seed", 0xC405),
+        threads: threads_arg(args),
         ..ChaosOptions::default()
     };
     eprintln!(
@@ -185,6 +211,7 @@ fn cmd_mutate(args: &[String]) -> ExitCode {
             base_seed: 0xC405 + batch * 12,
             retry,
             mutation: Some(mutation),
+            threads: threads_arg(args),
             ..ChaosOptions::default()
         };
         eprintln!("mutate {id}: batch {batch} (seeds {:#x}..)", opts.base_seed);
@@ -221,9 +248,9 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("mutate") => cmd_mutate(&args[1..]),
         _ => {
-            eprintln!("usage: chaos run [--trials N] [--seed S]");
+            eprintln!("usage: chaos run [--trials N] [--seed S] [--threads N]");
             eprintln!("       chaos replay <dir-or-file> ...");
-            eprintln!("       chaos mutate <mutation-id> [--write DIR]");
+            eprintln!("       chaos mutate <mutation-id> [--write DIR] [--threads N]");
             ExitCode::FAILURE
         }
     }

@@ -289,6 +289,39 @@ impl Watchdog {
         Some(report)
     }
 
+    /// [`check`](Self::check) across several outstanding-transaction
+    /// tables at once — the epoch-parallel engine keeps one `PendingSet`
+    /// per region. Fires when *every* table together has made no progress
+    /// for a full window while any transaction is outstanding; the report
+    /// names the stuck transactions of all tables merged in ascending tag
+    /// order, so the result is independent of how regions partition them.
+    pub fn check_many(&mut self, now: SimTime, pending: &[&PendingSet]) -> Option<LivelockReport> {
+        let outstanding: usize = pending.iter().map(|set| set.len()).sum();
+        if outstanding == 0 || now.since(self.last_progress) < self.window {
+            return None;
+        }
+        self.fired += 1;
+        let mut stuck: Vec<StuckTx> = pending
+            .iter()
+            .flat_map(|set| set.iter())
+            .map(|(tag, tx)| StuckTx {
+                tag,
+                src: tx.src,
+                home: tx.home,
+                attempts: tx.attempts,
+                outstanding_for: now.since(tx.first_issued),
+            })
+            .collect();
+        stuck.sort_by_key(|tx| tx.tag);
+        let report = LivelockReport {
+            at: now,
+            stalled_for: now.since(self.last_progress),
+            stuck,
+        };
+        self.last_progress = now;
+        Some(report)
+    }
+
     /// How many times the watchdog has fired.
     pub fn fired(&self) -> u64 {
         self.fired
@@ -505,6 +538,46 @@ mod tests {
         assert!(text.contains("cpu 3 -> home 4"), "{text}");
         // Firing re-arms rather than re-firing every check.
         assert!(dog.check(t(1051.0), &set).is_none());
+        assert_eq!(dog.fired(), 1);
+    }
+
+    #[test]
+    fn check_many_merges_regions_in_tag_order() {
+        let mut dog = Watchdog::new(SimDuration::from_us(50.0));
+        let tx = |src: usize| PendingTx {
+            src,
+            home: src + 1,
+            first_issued: t(1000.0),
+            deadline: t(1010.0),
+            attempts: 1,
+        };
+        let mut region_a = PendingSet::new();
+        let mut region_b = PendingSet::new();
+        region_a.insert(9, tx(0));
+        region_b.insert(2, tx(4));
+        region_b.insert(5, tx(6));
+        dog.note_progress(t(1000.0));
+        // Empty slice / no outstanding work: silent, like `check`.
+        assert!(dog.check_many(t(2000.0), &[]).is_none());
+        assert!(dog.check_many(t(2000.0), &[&PendingSet::new()]).is_none());
+        assert!(
+            dog.check_many(t(1040.0), &[&region_a, &region_b]).is_none(),
+            "window not elapsed"
+        );
+        let report = dog
+            .check_many(t(1050.0), &[&region_a, &region_b])
+            .expect("stalled a full window");
+        let tags: Vec<u64> = report.stuck.iter().map(|s| s.tag).collect();
+        assert_eq!(tags, vec![2, 5, 9], "merged ascending regardless of region");
+        // Same merge, regions swapped: identical report.
+        let mut dog2 = Watchdog::new(SimDuration::from_us(50.0));
+        dog2.note_progress(t(1000.0));
+        let swapped = dog2
+            .check_many(t(1050.0), &[&region_b, &region_a])
+            .expect("fires identically");
+        assert_eq!(report, swapped);
+        // Firing re-arms.
+        assert!(dog.check_many(t(1051.0), &[&region_a]).is_none());
         assert_eq!(dog.fired(), 1);
     }
 }

@@ -33,8 +33,9 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod arbiter;
-mod link;
+pub mod link;
 mod msg;
+pub mod partition;
 pub mod region;
 mod sim;
 mod timing;

@@ -290,6 +290,11 @@ impl<T: Topology> NetworkSim<T> {
         &self.timing
     }
 
+    /// The routing policy in force.
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.events.now()

@@ -29,6 +29,9 @@ static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Process-wide shard-count override; 0 means "resolve from environment".
 static SHARDS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Process-wide epoch-thread override; 0 means "resolve from environment".
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
 /// Force the region-shard count used by sharded event queues (see
 /// [`shards`]). `0` restores resolution from `ALPHASIM_SHARDS`.
 pub fn set_shards(n: usize) {
@@ -46,6 +49,36 @@ pub fn shards() -> usize {
         return forced;
     }
     if let Some(n) = std::env::var("ALPHASIM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    1
+}
+
+/// Force the pool-thread count used by epoch-parallel closed-loop runs
+/// (see [`threads`]). `0` restores resolution from `ALPHASIM_THREADS`.
+pub fn set_threads(n: usize) {
+    THREADS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The pool-thread count for epoch-parallel closed-loop simulation:
+/// [`set_threads`], else `ALPHASIM_THREADS`, else 1 (inline execution).
+/// Like [`shards`] — and unlike [`jobs`] — this never auto-detects:
+/// thread count is purely a wall-clock knob (artifacts are byte-identical
+/// at any value), but it is recorded per artifact in `BENCH_sweep.json`,
+/// so the default must be fixed and machine-independent. Callers that want
+/// "auto" resolve it explicitly (the CLIs map `--threads 0` to
+/// [`std::thread::available_parallelism`]).
+pub fn threads() -> usize {
+    let forced = THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("ALPHASIM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
@@ -293,6 +326,15 @@ mod tests {
         set_shards(4);
         assert_eq!(shards(), 4);
         set_shards(0);
+    }
+
+    #[test]
+    fn threads_default_to_one_and_respect_override() {
+        set_threads(0);
+        assert_eq!(threads(), 1, "epoch parallelism is opt-in");
+        set_threads(4);
+        assert_eq!(threads(), 4);
+        set_threads(0);
     }
 
     #[test]

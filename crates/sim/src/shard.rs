@@ -342,8 +342,11 @@ impl<E> Outbox<E> {
         } else {
             assert!(
                 at >= self.now + self.lookahead,
-                "lookahead violation: cross-shard event at {at} is closer than \
-                 {lookahead} to now={now} (shard {home} -> {shard})",
+                "lookahead violation: region {home} emitted an event for region \
+                 {shard} at t={at}, inside the conservative horizon {horizon} \
+                 (emitter's now={now} + lookahead {lookahead}); the event could \
+                 land in region {shard}'s already-executed past",
+                horizon = self.now + self.lookahead,
                 lookahead = self.lookahead,
                 now = self.now,
                 home = self.home,
@@ -383,6 +386,129 @@ fn run_slot<W: ShardWorker>(slot: &mut ShardSlot<W>) {
         if slot.heap.len() > slot.peak {
             slot.peak = slot.heap.len();
         }
+    }
+}
+
+/// What a guide decides at a barrier it requested (see [`EpochGuide`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierVerdict {
+    /// Keep running epochs (the guide may have injected new events).
+    Continue,
+    /// Stop the run immediately; pending events stay in their heaps.
+    Stop,
+}
+
+/// A coordinator hook driving [`EpochExecutor::run_guided`]: the guide
+/// names global barrier times (fault strikes, watchdog ticks) at which the
+/// executor stops every shard, hands the guide exclusive access to all
+/// worker state through an [`EpochControl`], and only then resumes.
+///
+/// The executor guarantees that when [`at_barrier`](Self::at_barrier) runs
+/// for time `b`, every event strictly before `b` has been processed and no
+/// event at or after `b` has — so barrier mutations apply before any event
+/// at exactly `b`, in every shard, at every shard/thread count.
+pub trait EpochGuide<W: ShardWorker> {
+    /// The next barrier time, if any. Called before each epoch; the
+    /// returned time must not be in the executor's past, and after
+    /// [`at_barrier`](Self::at_barrier) for time `b` it must advance
+    /// strictly beyond `b`.
+    fn next_barrier(&mut self) -> Option<SimTime>;
+
+    /// Strike the barrier at `at`: mutate workers, inject or extract
+    /// events, adjust the lookahead. Invoked even when every heap is empty
+    /// — a quiescent simulation can still owe watchdog ticks.
+    fn at_barrier(&mut self, at: SimTime, ctl: &mut EpochControl<'_, W>) -> BarrierVerdict;
+}
+
+/// The guide's window into a stopped executor: exclusive access to every
+/// worker and heap while all shards sit at a barrier.
+pub struct EpochControl<'a, W: ShardWorker> {
+    slots: &'a mut Vec<ShardSlot<W>>,
+    lookahead: &'a mut SimDuration,
+    now: SimTime,
+}
+
+impl<W: ShardWorker> EpochControl<'_, W> {
+    /// The barrier time being struck.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of region shards.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Shared access to `shard`'s worker state.
+    pub fn worker(&self, shard: usize) -> &W {
+        &self.slots[shard].worker
+    }
+
+    /// Exclusive access to `shard`'s worker state.
+    pub fn worker_mut(&mut self, shard: usize) -> &mut W {
+        &mut self.slots[shard].worker
+    }
+
+    /// Schedule `ev` on `shard` at `at`. Barrier injections bypass the
+    /// lookahead contract: every shard is stopped at the barrier, so
+    /// nothing can land in an already-executed past — only `at >= now`
+    /// (the barrier time) is required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the barrier time.
+    pub fn inject(&mut self, shard: usize, at: SimTime, tiebreak: u64, ev: W::Event) {
+        assert!(
+            at >= self.now,
+            "barrier injection into the past: {at} < barrier {now}",
+            now = self.now
+        );
+        heap_push(&mut self.slots[shard].heap, pack(at, tiebreak), ev);
+    }
+
+    /// Replace the conservative lookahead for subsequent epochs — e.g.
+    /// after a fault kills or restores the fastest cross-region link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero horizon (it cannot make progress).
+    pub fn set_lookahead(&mut self, lookahead: SimDuration) {
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative lookahead must be positive"
+        );
+        *self.lookahead = lookahead;
+    }
+
+    /// The conservative lookahead currently in force.
+    pub fn lookahead(&self) -> SimDuration {
+        *self.lookahead
+    }
+
+    /// Remove every pending event on `shard` matching `pred`, returning
+    /// the matches as `(time, tiebreak, event)` in ascending key order.
+    /// Non-matching events keep their keys. Used to condemn in-flight
+    /// work when a barrier fault invalidates it (e.g. a message mid-hop on
+    /// a link that just died).
+    pub fn extract_events<F>(&mut self, shard: usize, mut pred: F) -> Vec<(SimTime, u64, W::Event)>
+    where
+        F: FnMut(SimTime, &W::Event) -> bool,
+    {
+        let heap = &mut self.slots[shard].heap;
+        let entries: Vec<(u128, W::Event)> = std::mem::take(heap);
+        let mut taken = Vec::new();
+        for (key, ev) in entries {
+            if pred(unpack_time(key), &ev) {
+                taken.push((key, ev));
+            } else {
+                heap_push(heap, key, ev);
+            }
+        }
+        taken.sort_unstable_by_key(|&(key, _)| key);
+        taken
+            .into_iter()
+            .map(|(key, ev)| (unpack_time(key), key as u64, ev))
+            .collect()
     }
 }
 
@@ -473,48 +599,107 @@ impl<W: ShardWorker> EpochExecutor<W> {
         heap_push(&mut self.slots[shard].heap, pack(at, tiebreak), ev);
     }
 
-    /// Run barrier epochs until every shard's heap is empty.
-    pub fn run_until_idle(&mut self) -> EpochReport {
-        loop {
-            let min_next = self
-                .slots
-                .iter()
-                .filter_map(|s| s.heap.first().map(|e| unpack_time(e.0)))
-                .min();
-            let Some(t) = min_next else {
-                break;
-            };
-            let bound = t + self.lookahead;
-            for slot in &mut self.slots {
-                slot.bound = bound;
-            }
-            match &self.pool {
-                Some(pool) => {
-                    let taken = std::mem::take(&mut self.slots);
-                    self.slots = pool.run_round(taken);
-                }
-                None => {
-                    for slot in &mut self.slots {
-                        run_slot(slot);
-                    }
-                }
-            }
-            // Barrier: deliver cross-region events in ascending source-shard
-            // order — a fixed, shard-count-independent merge order.
-            for src in 0..self.slots.len() {
-                let remote = std::mem::take(&mut self.slots[src].outbox.remote);
-                for (dest, at, tb, ev) in remote {
-                    debug_assert!(at >= bound, "emit assertion admitted a past event");
-                    heap_push(&mut self.slots[dest].heap, pack(at, tb), ev);
-                }
-            }
-            self.epochs += 1;
+    /// Timestamp of the globally earliest pending event, if any.
+    fn min_next(&self) -> Option<SimTime> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.heap.first().map(|e| unpack_time(e.0)))
+            .min()
+    }
+
+    /// Run one epoch with the given exclusive bound: every shard processes
+    /// its local events strictly below `bound`, then the barrier routes
+    /// cross-shard emissions into their destination heaps in ascending
+    /// source-shard order — a fixed, shard-count-independent merge order.
+    fn run_epoch(&mut self, bound: SimTime) {
+        for slot in &mut self.slots {
+            slot.bound = bound;
+            slot.outbox.lookahead = self.lookahead;
         }
+        match &self.pool {
+            Some(pool) => {
+                let taken = std::mem::take(&mut self.slots);
+                self.slots = pool.run_round(taken);
+            }
+            None => {
+                for slot in &mut self.slots {
+                    run_slot(slot);
+                }
+            }
+        }
+        for src in 0..self.slots.len() {
+            let remote = std::mem::take(&mut self.slots[src].outbox.remote);
+            for (dest, at, tb, ev) in remote {
+                debug_assert!(at >= bound, "emit assertion admitted a past event");
+                heap_push(&mut self.slots[dest].heap, pack(at, tb), ev);
+            }
+        }
+        self.epochs += 1;
+    }
+
+    fn report(&self) -> EpochReport {
         EpochReport {
             epochs: self.epochs,
             processed: self.slots.iter().map(|s| s.processed).collect(),
             shard_peaks: self.slots.iter().map(|s| s.peak).collect(),
         }
+    }
+
+    /// Run barrier epochs until every shard's heap is empty.
+    pub fn run_until_idle(&mut self) -> EpochReport {
+        while let Some(t) = self.min_next() {
+            self.run_epoch(t + self.lookahead);
+        }
+        self.report()
+    }
+
+    /// Run barrier epochs under a coordinating [`EpochGuide`] until every
+    /// heap is empty and the guide has no barriers left (or it votes
+    /// [`BarrierVerdict::Stop`]).
+    ///
+    /// Each iteration the bound is `min(t + lookahead, b)` for global
+    /// minimum event time `t` and next guide barrier `b` — the bound is
+    /// exclusive, so no event at or beyond a barrier fires before the
+    /// guide has struck it. When `b <= t` (or no events remain) the guide
+    /// runs first; its injections and lookahead changes take effect for
+    /// the following epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guide returns a barrier that fails to advance after
+    /// being struck — the run could otherwise spin forever.
+    pub fn run_guided<G: EpochGuide<W>>(&mut self, guide: &mut G) -> EpochReport {
+        let mut last_struck: Option<SimTime> = None;
+        loop {
+            let min_next = self.min_next();
+            let barrier = guide.next_barrier();
+            let bound = match (min_next, barrier) {
+                (None, None) => break,
+                (Some(t), Some(b)) if b > t => (t + self.lookahead).min(b),
+                (Some(t), None) => t + self.lookahead,
+                (_, Some(b)) => {
+                    // Every event strictly before `b` has fired (either no
+                    // events remain or the earliest is at/after `b`):
+                    // strike the barrier before anything at exactly `b`.
+                    assert!(
+                        last_struck.is_none_or(|p| b > p),
+                        "EpochGuide barrier did not advance past {b}"
+                    );
+                    last_struck = Some(b);
+                    let mut ctl = EpochControl {
+                        slots: &mut self.slots,
+                        lookahead: &mut self.lookahead,
+                        now: b,
+                    };
+                    match guide.at_barrier(b, &mut ctl) {
+                        BarrierVerdict::Continue => continue,
+                        BarrierVerdict::Stop => break,
+                    }
+                }
+            };
+            self.run_epoch(bound);
+        }
+        self.report()
     }
 
     /// Tear down the pool and return the workers (and whatever results they
@@ -719,6 +904,199 @@ mod tests {
         // Claim a horizon larger than the hop latency: the first
         // cross-region hop violates the contract and must be caught.
         run_ring(4, 1, 10, 500);
+    }
+
+    /// A guide for the ring simulation: at each barrier it records the
+    /// strike, optionally injects one fresh message, and stops after a
+    /// configured number of strikes.
+    struct RingGuide {
+        barriers: Vec<u64>,
+        struck: Vec<u64>,
+        inject_msg: Option<u64>,
+        stop_after: usize,
+        nodes: usize,
+        shards: usize,
+    }
+
+    impl EpochGuide<RingWorker> for RingGuide {
+        fn next_barrier(&mut self) -> Option<SimTime> {
+            self.barriers.first().map(|&b| SimTime::from_ps(b))
+        }
+
+        fn at_barrier(
+            &mut self,
+            at: SimTime,
+            ctl: &mut EpochControl<'_, RingWorker>,
+        ) -> BarrierVerdict {
+            self.barriers.remove(0);
+            self.struck.push(at.as_ps());
+            if let Some(msg) = self.inject_msg.take() {
+                let node = 3;
+                ctl.inject(
+                    region_of(node, self.nodes, self.shards),
+                    at,
+                    msg,
+                    Hop {
+                        msg,
+                        node,
+                        remaining: 4,
+                    },
+                );
+            }
+            if self.struck.len() >= self.stop_after {
+                BarrierVerdict::Stop
+            } else {
+                BarrierVerdict::Continue
+            }
+        }
+    }
+
+    fn run_guided_ring(shards: usize, threads: usize) -> (Vec<u64>, Vec<(u64, u64)>) {
+        let nodes = 16;
+        let workers: Vec<RingWorker> = (0..shards)
+            .map(|_| RingWorker {
+                nodes,
+                shards,
+                hop_ps: 50,
+                log: Vec::new(),
+                emitted: 0,
+            })
+            .collect();
+        let mut exec = EpochExecutor::new(workers, SimDuration::from_ps(50), threads);
+        for msg in 0..24u64 {
+            let node = (msg as usize * 5) % nodes;
+            exec.seed(
+                region_of(node, nodes, shards),
+                SimTime::from_ps(msg % 7),
+                msg,
+                Hop {
+                    msg,
+                    node,
+                    remaining: 3 + (msg % 9) as u32,
+                },
+            );
+        }
+        let mut guide = RingGuide {
+            barriers: vec![120, 250, 1_000_000],
+            struck: Vec::new(),
+            inject_msg: Some(77),
+            stop_after: usize::MAX,
+            nodes,
+            shards,
+        };
+        exec.run_guided(&mut guide);
+        let mut merged: Vec<(u64, u64)> = exec
+            .into_workers()
+            .into_iter()
+            .flat_map(|w| w.log)
+            .collect();
+        merged.sort_unstable();
+        (guide.struck, merged)
+    }
+
+    #[test]
+    fn guided_run_is_invariant_and_strikes_every_barrier() {
+        let reference = run_guided_ring(1, 1);
+        assert_eq!(reference.0, [120, 250, 1_000_000], "all barriers struck");
+        assert!(
+            reference.1.iter().any(|&(_, msg)| msg == 77),
+            "barrier-injected message delivered"
+        );
+        for shards in [2usize, 4] {
+            for threads in [1usize, 4] {
+                assert_eq!(
+                    run_guided_ring(shards, threads),
+                    reference,
+                    "{shards} shards x {threads} threads diverged under guide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guide_stop_verdict_halts_with_events_pending() {
+        let workers = vec![RingWorker {
+            nodes: 4,
+            shards: 1,
+            hop_ps: 10,
+            log: Vec::new(),
+            emitted: 0,
+        }];
+        let mut exec = EpochExecutor::new(workers, SimDuration::from_ps(10), 1);
+        exec.seed(
+            0,
+            SimTime::from_ps(500),
+            1,
+            Hop {
+                msg: 1,
+                node: 0,
+                remaining: 2,
+            },
+        );
+        let mut guide = RingGuide {
+            barriers: vec![100],
+            struck: Vec::new(),
+            inject_msg: None,
+            stop_after: 1,
+            nodes: 4,
+            shards: 1,
+        };
+        let report = exec.run_guided(&mut guide);
+        assert_eq!(guide.struck, [100]);
+        assert_eq!(report.processed, [0], "stop fires before the seeded event");
+    }
+
+    #[test]
+    fn extract_events_removes_matches_and_keeps_order() {
+        let workers = vec![RingWorker {
+            nodes: 4,
+            shards: 1,
+            hop_ps: 10,
+            log: Vec::new(),
+            emitted: 0,
+        }];
+        let mut exec = EpochExecutor::new(workers, SimDuration::from_ps(10), 1);
+        for msg in 0..6u64 {
+            exec.seed(
+                0,
+                SimTime::from_ps(100 + msg),
+                msg,
+                Hop {
+                    msg,
+                    node: 0,
+                    remaining: 0,
+                },
+            );
+        }
+        struct Extractor(Vec<(u64, u64)>);
+        impl EpochGuide<RingWorker> for Extractor {
+            fn next_barrier(&mut self) -> Option<SimTime> {
+                self.0.is_empty().then_some(SimTime::from_ps(50))
+            }
+            fn at_barrier(
+                &mut self,
+                _at: SimTime,
+                ctl: &mut EpochControl<'_, RingWorker>,
+            ) -> BarrierVerdict {
+                let taken = ctl.extract_events(0, |_, ev| ev.msg % 2 == 0);
+                self.0 = taken
+                    .into_iter()
+                    .map(|(at, _, ev)| (at.as_ps(), ev.msg))
+                    .collect();
+                BarrierVerdict::Continue
+            }
+        }
+        let mut guide = Extractor(Vec::new());
+        exec.run_guided(&mut guide);
+        assert_eq!(guide.0, [(100, 0), (102, 2), (104, 4)], "ascending order");
+        let delivered: Vec<u64> = exec
+            .into_workers()
+            .remove(0)
+            .log
+            .iter()
+            .map(|l| l.1)
+            .collect();
+        assert_eq!(delivered, [1, 3, 5], "survivors fire normally");
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct ChaosOptions {
     pub mutation: Option<RecoveryMutation>,
     /// Most campaign re-runs the shrinker may spend per violating trial.
     pub shrink_budget: usize,
+    /// Worker threads for every trial campaign (`0` = resolve via
+    /// [`alphasim_kernel::par::threads`]). Trial outcomes, reproducers,
+    /// and shrinks are byte-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for ChaosOptions {
@@ -87,6 +91,7 @@ impl Default for ChaosOptions {
             },
             mutation: None,
             shrink_budget: 200,
+            threads: 0,
         }
     }
 }
@@ -351,6 +356,7 @@ fn trial_cfg(
         retry: opts.retry,
         watchdog_window: SimDuration::from_us(250.0),
         shards,
+        threads: opts.threads,
         mutation,
         ..Default::default()
     }

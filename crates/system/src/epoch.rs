@@ -1,0 +1,978 @@
+//! The epoch-parallel closed-loop campaign engine.
+//!
+//! [`crate::faulty::FaultCampaign`] used to drive one global
+//! `NetworkSim` event loop; this module partitions the same closed loop
+//! by torus row band so the conservative epoch scheduler
+//! ([`EpochExecutor`]) can advance each region on its own core:
+//!
+//! * [`CampaignWorker`] is one region's slice of everything mutable: the
+//!   [`RegionNet`] link state, the requester-partitioned [`PendingSet`],
+//!   the home-node-owned [`Zbox`] controllers, per-CPU RNGs and issue
+//!   counters, and the region's share of every result stream (latency
+//!   samples, completions, poisons, violations, trace events).
+//! * [`CampaignGuide`] is the barrier coordinator: it owns the master
+//!   [`FabricTables`], strikes fault-plan events and watchdog ticks as
+//!   epoch barriers, mutates worker link state under
+//!   [`EpochControl`], condemns in-flight packets on dead wires, and
+//!   republishes the routing snapshot plus the conservative lookahead.
+//!
+//! Determinism is by construction, not by luck: every event carries a
+//! shard-count-invariant tiebreak (packet uid, link id, transaction tag,
+//! CPU index — never a slot or arrival order), per-CPU RNGs advance only
+//! in the CPU's owning region, and every result stream is merged into a
+//! canonical order after the run. The same config therefore produces the
+//! same bytes at any `--threads`/`--shards` combination — the invariant
+//! `reproduce --check` enforces for every committed artifact.
+
+use std::sync::Arc;
+
+use alphasim_cache::Addr;
+use alphasim_coherence::{PendingSet, PendingTx, RetryPolicy, Watchdog};
+use alphasim_kernel::fault::DEGRADE_FACTOR;
+use alphasim_kernel::shard::{BarrierVerdict, EpochControl, EpochGuide, Outbox, ShardWorker};
+use alphasim_kernel::{DetRng, FaultEvent, FaultKind, SimDuration, SimTime};
+use alphasim_mem::Zbox;
+use alphasim_net::partition::{
+    tb_arrive, tb_inject, tb_link_free, tb_timer, FabricTables, NetStep, Packet, RegionNet,
+};
+use alphasim_net::{FaultError, MessageClass};
+use alphasim_telemetry::trace::PID_MEMORY;
+use alphasim_telemetry::{BreakdownTable, HopBreakdown};
+use alphasim_topology::{NodeId, Topology};
+
+use crate::faulty::{CampaignPattern, PoisonedTx, RecoveryMutation, STUCK_WINDOW_LIMIT};
+
+/// The horizon used when no live link crosses a region boundary (single
+/// region, or a fully severed cut): effectively infinite, so epochs are
+/// bounded only by guide barriers.
+pub(crate) fn fallback_lookahead() -> SimDuration {
+    SimDuration::from_ps(1 << 62)
+}
+
+/// The request-leg attribution a response carries home. Sequentially this
+/// was parked at the collector keyed by tag; here it rides the completing
+/// response itself, so the charge happens wherever the requester lives.
+#[derive(Debug, Clone)]
+pub(crate) struct ServedLeg {
+    /// Per-hop attribution of the request that was served.
+    pub(crate) request: HopBreakdown,
+    /// Time the read waited for the memory controller.
+    pub(crate) zbox_queue_ps: u64,
+    /// DRAM service time.
+    pub(crate) dram_ps: u64,
+    /// Whether the access hit an open page.
+    pub(crate) page_hit: bool,
+}
+
+/// The campaign's event vocabulary. Tiebreaks are assigned at emission
+/// from the `tb_*` constructors, all derived from simulation identities.
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// A packet lands on `node` (hop-by-hop handoff; responses carry the
+    /// served leg).
+    Arrive {
+        /// Node the packet lands on.
+        node: NodeId,
+        /// The packet in flight.
+        pkt: Box<Packet<Option<ServedLeg>>>,
+    },
+    /// An owned link's channel frees up.
+    LinkFree {
+        /// Global link id.
+        link: usize,
+    },
+    /// A transaction's retry deadline fires in its requester's region.
+    Timer {
+        /// Transaction tag.
+        tag: u64,
+    },
+    /// A packet died with its wire; the requester reacts at the instant
+    /// the packet would have arrived (drop-at-arrival semantics).
+    DropNotice {
+        /// Transaction tag of the condemned packet.
+        tag: u64,
+    },
+    /// Top the CPU's issue window back up (priming and undrain refill).
+    /// Idempotent: it refills to `outstanding`, however many are in
+    /// flight.
+    Inject {
+        /// CPU index.
+        cpu: usize,
+    },
+}
+
+/// Immutable campaign parameters shared by every worker.
+pub(crate) struct CampaignCfg {
+    /// Outstanding reads per CPU.
+    pub(crate) outstanding: usize,
+    /// Reads each CPU completes before the run ends.
+    pub(crate) requests_per_cpu: u64,
+    /// Timeout / backoff / poison policy.
+    pub(crate) retry: RetryPolicy,
+    /// Deliberately broken recovery path, if any.
+    pub(crate) mutation: Option<RecoveryMutation>,
+    /// Traffic pattern.
+    pub(crate) pattern: CampaignPattern,
+    /// Bisection mirror per CPU (empty for [`CampaignPattern::UniformRemote`]).
+    pub(crate) partners: Vec<usize>,
+    /// Fixed front-end overhead added to every end-to-end latency.
+    pub(crate) front_overhead: SimDuration,
+    /// Fixed directory lookup before the Zbox serves a request.
+    pub(crate) directory_overhead: SimDuration,
+    /// Whether the always-on invariant monitors are armed.
+    pub(crate) monitored: bool,
+}
+
+/// One region's slice of the closed-loop campaign state.
+pub(crate) struct CampaignWorker<T: Topology> {
+    /// Shared campaign parameters.
+    pub(crate) cfg: Arc<CampaignCfg>,
+    /// Every CPU endpoint, indexed by CPU number.
+    pub(crate) cpus: Arc<Vec<NodeId>>,
+    /// This region's fabric slice.
+    pub(crate) net: RegionNet<T, Option<ServedLeg>>,
+    /// Per-CPU RNG streams; only owned CPUs ever advance, so the per-CPU
+    /// draw sequence is shard-count invariant.
+    pub(crate) rngs: Vec<DetRng>,
+    /// Per-CPU issue counters (only owned CPUs are nonzero).
+    pub(crate) issued: Vec<u64>,
+    /// Outstanding transactions whose *requester* this region owns.
+    pub(crate) pending: PendingSet,
+    /// Reads abandoned with a named cause.
+    pub(crate) poisoned: Vec<PoisonedTx>,
+    /// Highest attempt count any owned transaction reached.
+    pub(crate) max_attempts: u32,
+    /// Raw end-to-end latency samples (merged and folded after the run).
+    pub(crate) latency_samples: Vec<SimDuration>,
+    /// `(time, tag)` of every completion, for the steady-state bandwidth.
+    pub(crate) completions: Vec<(SimTime, u64)>,
+    /// Pending-set occupancy deltas `(time_ps, ±1)`; the global peak is a
+    /// prefix-sum max over the merged logs.
+    pub(crate) pending_log: Vec<(u64, i8)>,
+    /// Timestamped monitor violations `(time_ps, monitor, detail)`.
+    pub(crate) violations: Vec<(u64, String, String)>,
+    /// Time of the last delivery (request or response) in this region.
+    pub(crate) last_delivery: SimTime,
+    /// Memory controllers of the home nodes this region owns, indexed by
+    /// node id (`None` for foreign nodes).
+    pub(crate) zboxes: Vec<Option<Zbox>>,
+    /// Per-CPU: whether the node was ever drained (set at the barrier by
+    /// the guide; exempts the CPU from window-refill and issue-quota
+    /// checks).
+    pub(crate) ever_drained: Vec<bool>,
+    /// Per-region latency attribution, present on collecting runs.
+    pub(crate) breakdown: Option<BreakdownTable>,
+    /// Scratch for [`RegionNet`] step emission (reused across events).
+    pub(crate) steps: Vec<NetStep<Option<ServedLeg>>>,
+}
+
+impl<T: Topology + Clone + Send + Sync + 'static> ShardWorker for CampaignWorker<T> {
+    type Event = Ev;
+
+    fn handle(&mut self, at: SimTime, ev: Ev, out: &mut Outbox<Ev>) {
+        match ev {
+            Ev::Arrive { node, pkt } => {
+                let mut steps = std::mem::take(&mut self.steps);
+                self.net.handle_arrive(at, node, pkt, &mut steps);
+                self.dispatch(at, &mut steps, out);
+                self.steps = steps;
+            }
+            Ev::LinkFree { link } => {
+                let mut steps = std::mem::take(&mut self.steps);
+                self.net.handle_link_free(at, link, &mut steps);
+                self.dispatch(at, &mut steps, out);
+                self.steps = steps;
+            }
+            Ev::Timer { tag } => {
+                let overdue = self.pending.get(tag).is_some_and(|tx| tx.deadline <= at);
+                // IgnoreTimeouts mutation: the expiry is dropped on the
+                // floor, so lost transactions hang — which the
+                // hung-transaction monitor must catch.
+                if overdue && self.cfg.mutation != Some(RecoveryMutation::IgnoreTimeouts) {
+                    self.retry_or_poison(at, tag, out);
+                }
+            }
+            Ev::DropNotice { tag } => self.retry_or_poison(at, tag, out),
+            Ev::Inject { cpu } => self.top_up(at, cpu, out),
+        }
+    }
+}
+
+impl<T: Topology + Clone + Send + Sync + 'static> CampaignWorker<T> {
+    /// Route every emitted [`NetStep`] to its owning region's heap (or
+    /// consume the delivery in place).
+    fn dispatch(
+        &mut self,
+        at: SimTime,
+        steps: &mut Vec<NetStep<Option<ServedLeg>>>,
+        out: &mut Outbox<Ev>,
+    ) {
+        for step in std::mem::take(steps) {
+            match step {
+                NetStep::Arrive { at: t, node, pkt } => {
+                    let dest = self.net.tables().region_of(node);
+                    out.emit(dest, t, tb_arrive(pkt.uid), Ev::Arrive { node, pkt });
+                }
+                NetStep::LinkFree { at: t, link } => {
+                    out.emit(
+                        self.net.region(),
+                        t,
+                        tb_link_free(link),
+                        Ev::LinkFree { link },
+                    );
+                }
+                NetStep::Delivered { pkt } => self.deliver(at, *pkt, out),
+            }
+        }
+    }
+
+    /// Consume a delivery: serve a request from the home Zbox, or close
+    /// the transaction a response answers.
+    fn deliver(&mut self, at: SimTime, pkt: Packet<Option<ServedLeg>>, out: &mut Outbox<Ev>) {
+        self.last_delivery = self.last_delivery.max(at);
+        match pkt.class {
+            MessageClass::Request => {
+                let home = pkt.dst;
+                if self.net.tables().is_drained(home) {
+                    // The home's whole node drained: its memory is
+                    // unreachable, so the request dies here and the
+                    // requester's timeout poisons it.
+                    return;
+                }
+                // Serve even if no longer pending (a poisoned or retried
+                // duplicate); the dup response is discarded at the
+                // requester.
+                let tag = pkt.tag;
+                let addr = Addr::new((tag.wrapping_mul(0x9E3779B97F4A7C15) >> 16) & 0x3FFF_FFC0);
+                let served_from = at + self.cfg.directory_overhead;
+                let zbox = self.zboxes[home.index()]
+                    .as_mut()
+                    .expect("home node's zbox is owned by this region");
+                let acc = zbox.access(served_from, addr, 64);
+                if let Some(sink) = self.net.trace_mut() {
+                    sink.complete(
+                        "dram read",
+                        "mem",
+                        PID_MEMORY,
+                        home.index() as u32,
+                        served_from.as_ps(),
+                        acc.completed.since(served_from).as_ps(),
+                        &[("tag", tag), ("page_hit", u64::from(acc.page_hit))],
+                    );
+                }
+                // The leg always rides the response — instrumented and
+                // plain runs schedule byte-identical events.
+                let leg = ServedLeg {
+                    request: pkt.acc,
+                    zbox_queue_ps: acc.started.since(served_from).as_ps(),
+                    dram_ps: acc.completed.since(acc.started).as_ps(),
+                    page_hit: acc.page_hit,
+                };
+                let requester = self.cpus[(tag >> 32) as usize];
+                let uid = pkt.uid | 1;
+                let resp = Box::new(Packet {
+                    src: home,
+                    dst: requester,
+                    class: MessageClass::BlockResponse,
+                    bytes: 80,
+                    tag,
+                    uid,
+                    injected_at: acc.completed,
+                    hops: 0,
+                    serialized: false,
+                    enqueued_at: acc.completed,
+                    acc: HopBreakdown::default(),
+                    payload: Some(leg),
+                });
+                out.emit(
+                    self.net.region(),
+                    acc.completed,
+                    tb_arrive(uid),
+                    Ev::Arrive {
+                        node: home,
+                        pkt: resp,
+                    },
+                );
+            }
+            MessageClass::BlockResponse => {
+                let tag = pkt.tag;
+                let Some(tx) = self.pending.complete(tag) else {
+                    return; // duplicate response from a retry
+                };
+                self.pending_log.push((at.as_ps(), -1));
+                let e2e = at.since(tx.first_issued) + self.cfg.front_overhead;
+                self.latency_samples.push(e2e);
+                self.completions.push((at, tag));
+                if let Some(bd) = self.breakdown.as_mut() {
+                    charge_completion(
+                        bd,
+                        &pkt.acc,
+                        pkt.payload.as_ref(),
+                        self.cfg.directory_overhead.as_ps(),
+                        self.cfg.front_overhead.as_ps(),
+                        e2e.as_ps(),
+                    );
+                }
+                let cpu = (tag >> 32) as usize;
+                self.inject_next(at, cpu, out);
+            }
+            other => panic!("unexpected class {other:?}"),
+        }
+    }
+
+    /// Refill `cpu`'s issue window to `outstanding`. Idempotent, so
+    /// duplicate same-time refills are harmless.
+    fn top_up(&mut self, at: SimTime, cpu: usize, out: &mut Outbox<Ev>) {
+        let inflight = self
+            .pending
+            .iter()
+            .filter(|&(tag, _)| (tag >> 32) as usize == cpu)
+            .count();
+        for _ in inflight..self.cfg.outstanding {
+            if !self.inject_next(at, cpu, out) {
+                break;
+            }
+        }
+    }
+
+    /// Issue `cpu`'s next read if it still has budget and has not drained.
+    /// Returns whether a read was issued.
+    fn inject_next(&mut self, at: SimTime, cpu: usize, out: &mut Outbox<Ev>) -> bool {
+        if self.issued[cpu] < self.cfg.requests_per_cpu
+            && !self.net.tables().is_drained(self.cpus[cpu])
+        {
+            self.inject(at, cpu, out);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pick_target(&mut self, cpu: usize) -> usize {
+        match self.cfg.pattern {
+            CampaignPattern::UniformRemote => {
+                if self.cpus.len() == 1 {
+                    0
+                } else {
+                    self.rngs[cpu].index_excluding(self.cpus.len(), cpu)
+                }
+            }
+            CampaignPattern::Bisection => self.cfg.partners[cpu],
+        }
+    }
+
+    /// Issue one read from `cpu`: track it, launch the request packet, and
+    /// arm its retry timer.
+    fn inject(&mut self, at: SimTime, cpu: usize, out: &mut Outbox<Ev>) {
+        let seq = self.issued[cpu];
+        self.issued[cpu] += 1;
+        let target = self.pick_target(cpu);
+        let home = self.cpus[target];
+        let tag = ((cpu as u64) << 32) | seq;
+        let deadline = at + self.cfg.retry.timeout;
+        self.pending.insert(
+            tag,
+            PendingTx {
+                src: self.cpus[cpu].index(),
+                home: home.index(),
+                first_issued: at,
+                deadline,
+                attempts: 1,
+            },
+        );
+        self.pending_log.push((at.as_ps(), 1));
+        self.send_request(at, cpu, home, tag, 1, out);
+        out.emit(
+            self.net.region(),
+            deadline,
+            tb_timer(tag),
+            Ev::Timer { tag },
+        );
+    }
+
+    /// Launch attempt `attempt` of transaction `tag` into the fabric at
+    /// `at`. The packet uid is derived from tag and attempt (responses
+    /// take `uid | 1`), so identities are shard-count invariant.
+    fn send_request(
+        &mut self,
+        at: SimTime,
+        cpu: usize,
+        home: NodeId,
+        tag: u64,
+        attempt: u32,
+        out: &mut Outbox<Ev>,
+    ) {
+        let uid = (tag << 16) | (u64::from(attempt) << 1);
+        let src = self.cpus[cpu];
+        let pkt = Box::new(Packet {
+            src,
+            dst: home,
+            class: MessageClass::Request,
+            bytes: 16,
+            tag,
+            uid,
+            injected_at: at,
+            hops: 0,
+            serialized: false,
+            enqueued_at: at,
+            acc: HopBreakdown::default(),
+            payload: None,
+        });
+        out.emit(
+            self.net.region(),
+            at,
+            tb_arrive(uid),
+            Ev::Arrive { node: src, pkt },
+        );
+    }
+
+    /// A transaction timed out or its packet died with a wire: re-issue
+    /// after bounded backoff, or poison it with a named cause past
+    /// `max_retries` (or when either end has drained). A poisoned read
+    /// frees its window slot, so the CPU issues its next read.
+    fn retry_or_poison(&mut self, now: SimTime, tag: u64, out: &mut Outbox<Ev>) {
+        let Some(tx) = self.pending.get(tag).copied() else {
+            return; // completed in the meantime (e.g. drop of a dup response)
+        };
+        let cpu = (tag >> 32) as usize;
+        // OffByOneRetry mutation: the poison threshold slips by one, so
+        // transactions overrun the retry bound — which the retry-bound
+        // monitor must catch on the extra attempt.
+        let max_retries = if self.cfg.mutation == Some(RecoveryMutation::OffByOneRetry) {
+            self.cfg.retry.max_retries + 1
+        } else {
+            self.cfg.retry.max_retries
+        };
+        let cause = if self.net.tables().is_drained(NodeId::new(tx.src)) {
+            Some(format!("source cpu {} drained mid-flight", tx.src))
+        } else if self.net.tables().is_drained(NodeId::new(tx.home)) {
+            Some(format!("home node {} drained; memory unreachable", tx.home))
+        } else if tx.attempts > max_retries {
+            Some(format!(
+                "exhausted {} retries (timeout {} per attempt)",
+                self.cfg.retry.max_retries, self.cfg.retry.timeout
+            ))
+        } else {
+            None
+        };
+        if let Some(cause) = cause {
+            self.max_attempts = self.max_attempts.max(tx.attempts);
+            if self.cfg.mutation == Some(RecoveryMutation::LeakPoison) {
+                // Deliberately broken: the abandoned entry stays pending.
+            } else {
+                self.pending.poison(tag).expect("checked above");
+                self.pending_log.push((now.as_ps(), -1));
+            }
+            if self.cfg.monitored && self.pending.get(tag).is_some() {
+                self.violations.push((
+                    now.as_ps(),
+                    "poison-leak".to_string(),
+                    format!("tag {tag:#x} still pending after poisoning"),
+                ));
+            }
+            self.poisoned.push(PoisonedTx {
+                tag,
+                cpu,
+                home: tx.home,
+                attempts: tx.attempts,
+                cause,
+            });
+            if self.cfg.mutation == Some(RecoveryMutation::SkipWindowRefill) {
+                // Deliberately broken: the freed window slot is not refilled.
+            } else {
+                self.inject_next(now, cpu, out);
+            }
+            // Window integrity: a live, never-drained CPU with quota left
+            // must run a full window after the slot is recycled.
+            if self.cfg.monitored
+                && !self.ever_drained[cpu]
+                && !self.net.tables().is_drained(self.cpus[cpu])
+                && self.issued[cpu] < self.cfg.requests_per_cpu
+            {
+                let inflight = self
+                    .pending
+                    .iter()
+                    .filter(|&(t, _)| (t >> 32) as usize == cpu)
+                    .count();
+                if inflight < self.cfg.outstanding {
+                    self.violations.push((
+                        now.as_ps(),
+                        "window-refill".to_string(),
+                        format!(
+                            "cpu {cpu} runs {inflight} of {} window slots after a poison",
+                            self.cfg.outstanding
+                        ),
+                    ));
+                }
+            }
+            return;
+        }
+        let backoff = self.cfg.retry.backoff(tx.attempts);
+        let resend_at = now + backoff;
+        let deadline = resend_at + self.cfg.retry.timeout;
+        let attempts = self.pending.retry(tag, deadline);
+        self.max_attempts = self.max_attempts.max(attempts);
+        if self.cfg.monitored && attempts > self.cfg.retry.max_retries + 1 {
+            self.violations.push((
+                now.as_ps(),
+                "retry-bound".to_string(),
+                format!(
+                    "tag {tag:#x} reached attempt {attempts}; the policy allows {}",
+                    self.cfg.retry.max_retries + 1
+                ),
+            ));
+        }
+        self.send_request(resend_at, cpu, NodeId::new(tx.home), tag, attempts, out);
+        out.emit(
+            self.net.region(),
+            deadline,
+            tb_timer(tag),
+            Ev::Timer { tag },
+        );
+    }
+}
+
+/// Charge every attributable picosecond of a completed read's end-to-end
+/// latency to a pipeline stage. On a healthy run the stages sum exactly
+/// to `e2e_ps`; anything they cannot explain (retry backoff, time lost
+/// with a dropped packet) lands in the `unattributed` stage, so the table
+/// always balances.
+///
+/// The response-leg stages, the directory lookup that produced this
+/// response, and the front end always lie on the completing path. The
+/// carried request leg might not fit: retransmits reuse the transaction
+/// tag, so a response racing a concurrent retry can carry stages that ran
+/// *concurrently* with the completing trip. Charging those would
+/// overshoot `e2e_ps` and break the exact-sum invariant, so a leg that no
+/// longer fits inside the end-to-end budget is left unattributed instead.
+fn charge_completion(
+    bd: &mut BreakdownTable,
+    response: &HopBreakdown,
+    leg: Option<&ServedLeg>,
+    directory_ps: u64,
+    front_ps: u64,
+    e2e_ps: u64,
+) {
+    let mut known = 0u64;
+    for (stage, ps) in [
+        ("response: queue + arbitration", response.queued_ps),
+        ("response: router pipeline", response.router_ps),
+        ("response: wire flight", response.wire_ps),
+        ("response: link serialization", response.serialization_ps),
+        ("response: congestion penalty", response.congestion_ps),
+        ("directory lookup (fixed)", directory_ps),
+        ("front end (fixed)", front_ps),
+    ] {
+        bd.charge(stage, ps);
+        known += ps;
+    }
+    if let Some(leg) = leg {
+        let leg_total = leg.request.queued_ps
+            + leg.request.router_ps
+            + leg.request.wire_ps
+            + leg.request.serialization_ps
+            + leg.request.congestion_ps
+            + leg.zbox_queue_ps
+            + leg.dram_ps;
+        if known + leg_total <= e2e_ps {
+            for (stage, ps) in [
+                ("request: queue + arbitration", leg.request.queued_ps),
+                ("request: router pipeline", leg.request.router_ps),
+                ("request: wire flight", leg.request.wire_ps),
+                ("request: link serialization", leg.request.serialization_ps),
+                ("request: congestion penalty", leg.request.congestion_ps),
+                ("zbox queue", leg.zbox_queue_ps),
+                (
+                    if leg.page_hit {
+                        "dram open page"
+                    } else {
+                        "dram closed page"
+                    },
+                    leg.dram_ps,
+                ),
+            ] {
+                bd.charge(stage, ps);
+                known += ps;
+            }
+        }
+    }
+    bd.charge(
+        "unattributed (retry / backoff)",
+        e2e_ps.saturating_sub(known),
+    );
+    bd.complete_transaction(e2e_ps);
+}
+
+/// The barrier coordinator: owns the master fabric tables and the fault
+/// plan, strikes fault events and watchdog ticks at epoch barriers, and
+/// keeps every worker's routing snapshot and the conservative lookahead
+/// in sync with the wounded fabric.
+pub(crate) struct CampaignGuide<T: Topology> {
+    /// The master routing snapshot; workers hold [`Arc`] clones
+    /// republished after every fabric mutation.
+    pub(crate) master: FabricTables<T>,
+    /// Every CPU endpoint, indexed by CPU number.
+    pub(crate) cpus: Arc<Vec<NodeId>>,
+    /// The fault schedule, sorted by strike time.
+    pub(crate) plan: Vec<FaultEvent>,
+    /// Next unstruck plan entry.
+    pub(crate) plan_idx: usize,
+    /// Watchdog no-progress window (also the barrier grid pitch).
+    pub(crate) window: SimDuration,
+    /// The livelock detector.
+    pub(crate) dog: Watchdog,
+    /// Next watchdog barrier on the fixed grid.
+    pub(crate) dog_next: SimTime,
+    /// Whether watchdog barriers keep coming (plan remaining or any
+    /// transaction outstanding).
+    pub(crate) live: bool,
+    /// Consecutive no-progress windows (monitored runs escalate at
+    /// [`STUCK_WINDOW_LIMIT`]).
+    pub(crate) consecutive_stuck: u32,
+    /// Whether the always-on invariant monitors are armed.
+    pub(crate) monitored: bool,
+    /// Faults that actually struck, in strike order.
+    pub(crate) faults_applied: Vec<FaultKind>,
+    /// Livelock reports, in firing order.
+    pub(crate) reports: Vec<alphasim_coherence::LivelockReport>,
+    /// Timestamped monitor violations `(time_ps, monitor, detail)`.
+    pub(crate) violations: Vec<(u64, String, String)>,
+    /// Packets lost with failed wires.
+    pub(crate) dropped: u64,
+    /// Queued packets evicted from failing links and re-routed.
+    pub(crate) rerouted: u64,
+}
+
+impl<T: Topology + Clone + Send + Sync + 'static> EpochGuide<CampaignWorker<T>>
+    for CampaignGuide<T>
+{
+    fn next_barrier(&mut self) -> Option<SimTime> {
+        let fault = self.plan.get(self.plan_idx).map(|e| e.at);
+        let dog = self.live.then_some(self.dog_next);
+        match (fault, dog) {
+            (None, None) => None,
+            (Some(f), None) => Some(f),
+            (None, Some(d)) => Some(d),
+            (Some(f), Some(d)) => Some(f.min(d)),
+        }
+    }
+
+    fn at_barrier(
+        &mut self,
+        at: SimTime,
+        ctl: &mut EpochControl<'_, CampaignWorker<T>>,
+    ) -> BarrierVerdict {
+        let mut verdict = BarrierVerdict::Continue;
+        while self.plan_idx < self.plan.len() && self.plan[self.plan_idx].at == at {
+            let kind = self.plan[self.plan_idx].kind;
+            self.plan_idx += 1;
+            self.apply_fault(at, kind, ctl);
+            self.faults_applied.push(kind);
+            // After every strike the route tables and the conservative
+            // lookahead must agree with their brute-force oracles.
+            if self.monitored {
+                if let Err(why) = self.master.audit_routes() {
+                    self.violations
+                        .push((at.as_ps(), "route-consistency".to_string(), why));
+                }
+                if let Err(why) = self.master.audit_lookahead() {
+                    self.violations
+                        .push((at.as_ps(), "lookahead-oracle".to_string(), why));
+                }
+            }
+        }
+        if self.live && at == self.dog_next {
+            if self.dog_tick(at, ctl) == BarrierVerdict::Stop {
+                verdict = BarrierVerdict::Stop;
+            }
+            self.dog_next = at + self.window;
+        }
+        self.live = self.plan_idx < self.plan.len()
+            || (0..ctl.shard_count()).any(|s| !ctl.worker(s).pending.is_empty());
+        verdict
+    }
+}
+
+impl<T: Topology + Clone + Send + Sync + 'static> CampaignGuide<T> {
+    /// Republish the master tables to every worker (so route lookups
+    /// inside the next epochs see the fabric as it stands at this
+    /// barrier).
+    fn republish(&self, ctl: &mut EpochControl<'_, CampaignWorker<T>>) {
+        let fresh = Arc::new(self.master.clone());
+        for s in 0..ctl.shard_count() {
+            ctl.worker_mut(s).net.set_tables(fresh.clone());
+        }
+    }
+
+    /// Re-derive the conservative lookahead from the surviving
+    /// cross-region links. Killing the fastest cross link *grows* the
+    /// horizon; restoring it shrinks it — both safe, since the contract
+    /// is only checked on new emissions.
+    fn refresh_lookahead(&self, ctl: &mut EpochControl<'_, CampaignWorker<T>>) {
+        ctl.set_lookahead(
+            self.master
+                .conservative_lookahead()
+                .unwrap_or_else(fallback_lookahead),
+        );
+    }
+
+    /// Apply one fault strike at barrier `b`, with the same semantics —
+    /// and the same loud panics on inapplicable faults — as the
+    /// sequential engine.
+    fn apply_fault(
+        &mut self,
+        b: SimTime,
+        kind: FaultKind,
+        ctl: &mut EpochControl<'_, CampaignWorker<T>>,
+    ) {
+        match kind {
+            FaultKind::LinkDown { a, b: other } => {
+                let (na, nb) = (NodeId::new(a), NodeId::new(other));
+                let ids = match self.master.fail_link(na, nb) {
+                    Ok(ids) => ids,
+                    Err(e) => panic!("fault plan could not be applied: {e}"),
+                };
+                for id in ids {
+                    let (from, _, _, _) = self.master.link_meta(id);
+                    let owner = self.master.region_of(from);
+                    ctl.worker_mut(owner).net.link_mut(id).set_alive(false);
+                    // Queued packets are evicted and re-routed from the
+                    // sending side over the rebuilt tables.
+                    let evicted = ctl.worker_mut(owner).net.evict_queued(id);
+                    for pkt in evicted {
+                        self.rerouted += 1;
+                        let uid = pkt.uid;
+                        ctl.inject(owner, b, tb_arrive(uid), Ev::Arrive { node: from, pkt });
+                    }
+                    // Drop-in-flight: condemn the packet on the wire. A
+                    // ticket whose arrival already fired is stale.
+                    let Some(ticket) = ctl.worker(owner).net.in_flight_ticket(id) else {
+                        continue;
+                    };
+                    if ticket.arrive_at < b {
+                        continue;
+                    }
+                    let dest_region = self.master.region_of(ticket.dest);
+                    let uid = ticket.uid;
+                    let condemned = ctl.extract_events(dest_region, |at, ev| {
+                        at == ticket.arrive_at
+                            && matches!(ev, Ev::Arrive { pkt, .. } if pkt.uid == uid)
+                    });
+                    if !condemned.is_empty() {
+                        self.dropped += 1;
+                        let requester = self.cpus[(ticket.tag >> 32) as usize];
+                        let req_region = self.master.region_of(requester);
+                        ctl.inject(
+                            req_region,
+                            ticket.arrive_at,
+                            tb_arrive(uid),
+                            Ev::DropNotice { tag: ticket.tag },
+                        );
+                    }
+                }
+                self.refresh_lookahead(ctl);
+                self.republish(ctl);
+            }
+            FaultKind::LinkUp { a, b: other } => {
+                let (na, nb) = (NodeId::new(a), NodeId::new(other));
+                let ids = match self.master.link_ids(na, nb) {
+                    Ok(ids) => ids,
+                    Err(e) => panic!("fault plan could not be applied: {e}"),
+                };
+                if self.master.is_alive(ids[0]) {
+                    // An alive link only heals if it was degraded;
+                    // repairing a healthy full-speed link errs, exactly
+                    // like the sequential engine.
+                    let degraded = ids.iter().any(|&id| {
+                        let (from, _, _, _) = self.master.link_meta(id);
+                        ctl.worker(self.master.region_of(from))
+                            .net
+                            .link(id)
+                            .is_degraded()
+                    });
+                    if !degraded {
+                        let e = FaultError::AlreadyInState {
+                            a: na,
+                            b: nb,
+                            alive: true,
+                        };
+                        panic!("fault plan could not be applied: {e}");
+                    }
+                    for &id in &ids {
+                        let (from, _, _, _) = self.master.link_meta(id);
+                        let owner = self.master.region_of(from);
+                        ctl.worker_mut(owner).net.link_mut(id).set_degrade(1);
+                    }
+                } else {
+                    if let Err(e) = self.master.revive_link(na, nb) {
+                        panic!("fault plan could not be applied: {e}");
+                    }
+                    for id in ids {
+                        let (from, _, _, _) = self.master.link_meta(id);
+                        let owner = self.master.region_of(from);
+                        let link = ctl.worker_mut(owner).net.link_mut(id);
+                        link.set_alive(true);
+                        link.set_degrade(1);
+                    }
+                    self.refresh_lookahead(ctl);
+                    self.republish(ctl);
+                }
+            }
+            FaultKind::LinkDegrade { a, b: other } => {
+                let (na, nb) = (NodeId::new(a), NodeId::new(other));
+                let ids = match self.master.link_ids(na, nb) {
+                    Ok(ids) => ids,
+                    Err(e) => panic!("fault plan could not be applied: {e}"),
+                };
+                if !self.master.is_alive(ids[0]) {
+                    let e = FaultError::BadState {
+                        a: na,
+                        b: nb,
+                        what: "is dead; cannot degrade",
+                    };
+                    panic!("fault plan could not be applied: {e}");
+                }
+                let (from0, _, _, _) = self.master.link_meta(ids[0]);
+                if ctl
+                    .worker(self.master.region_of(from0))
+                    .net
+                    .link(ids[0])
+                    .is_degraded()
+                {
+                    let e = FaultError::BadState {
+                        a: na,
+                        b: nb,
+                        what: "is already degraded",
+                    };
+                    panic!("fault plan could not be applied: {e}");
+                }
+                for id in ids {
+                    let (from, _, _, _) = self.master.link_meta(id);
+                    let owner = self.master.region_of(from);
+                    ctl.worker_mut(owner)
+                        .net
+                        .link_mut(id)
+                        .set_degrade(DEGRADE_FACTOR);
+                }
+            }
+            FaultKind::FlitCorrupt { from, to } => {
+                let (nf, nt) = (NodeId::new(from), NodeId::new(to));
+                let id = match self.master.directed_link(nf, nt) {
+                    Ok(id) => id,
+                    Err(e) => panic!("fault plan could not be applied: {e}"),
+                };
+                if !self.master.is_alive(id) {
+                    let e = FaultError::BadState {
+                        a: nf,
+                        b: nt,
+                        what: "is dead; cannot corrupt a flit",
+                    };
+                    panic!("fault plan could not be applied: {e}");
+                }
+                let owner = self.master.region_of(nf);
+                ctl.worker_mut(owner).net.link_mut(id).arm_corruption();
+            }
+            FaultKind::RouterPause { node, ps } => {
+                let n = NodeId::new(node);
+                let until = b + SimDuration::from_ps(ps);
+                let region = self.master.region_of(n);
+                let ids: Vec<usize> = self.master.links_from(n).to_vec();
+                for id in ids {
+                    if !self.master.is_alive(id) {
+                        continue;
+                    }
+                    let was_idle = ctl.worker_mut(region).net.link_mut(id).pause(until);
+                    if was_idle {
+                        // The channel was idle: it now reads busy with
+                        // nothing in flight, and this release at pause end
+                        // restores the one-pending-LinkFree-per-busy-
+                        // channel invariant.
+                        ctl.inject(region, until, tb_link_free(id), Ev::LinkFree { link: id });
+                    }
+                }
+            }
+            FaultKind::NodeDrain { node } => {
+                let n = NodeId::new(node);
+                self.master.set_drained(n, true);
+                if let Some(cpu) = self.cpus.iter().position(|c| c.index() == node) {
+                    let region = self.master.region_of(n);
+                    ctl.worker_mut(region).ever_drained[cpu] = true;
+                }
+                self.republish(ctl);
+            }
+            FaultKind::NodeUndrain { node } => {
+                let n = NodeId::new(node);
+                self.master.set_drained(n, false);
+                self.republish(ctl);
+                if let Some(cpu) = self.cpus.iter().position(|c| c.index() == node) {
+                    // The node resumes service: refill its issue window so
+                    // it works toward its quota again.
+                    let region = self.master.region_of(self.cpus[cpu]);
+                    ctl.inject(region, b, tb_inject(cpu), Ev::Inject { cpu });
+                }
+            }
+            FaultKind::ChannelDown { node } => {
+                let region = self.master.region_of(NodeId::new(node));
+                ctl.worker_mut(region).zboxes[node]
+                    .as_mut()
+                    .expect("home node's zbox is owned by this region")
+                    .fail_channel();
+            }
+            FaultKind::ChannelUp { node } => {
+                let region = self.master.region_of(NodeId::new(node));
+                let zbox = ctl.worker_mut(region).zboxes[node]
+                    .as_mut()
+                    .expect("home node's zbox is owned by this region");
+                // Repair symmetry for the RDRAM channel loss; tolerate a
+                // stray repair on a healthy Zbox.
+                if zbox.failed_channels() > 0 {
+                    zbox.restore_channel();
+                }
+            }
+        }
+    }
+
+    /// One watchdog tick at barrier `now`: fold every region's delivery
+    /// progress into the detector, check the merged pending sets, and (on
+    /// monitored runs) escalate after [`STUCK_WINDOW_LIMIT`] consecutive
+    /// silent windows so a broken recovery path cannot hang the harness.
+    fn dog_tick(
+        &mut self,
+        now: SimTime,
+        ctl: &mut EpochControl<'_, CampaignWorker<T>>,
+    ) -> BarrierVerdict {
+        let shard_count = ctl.shard_count();
+        let progress = (0..shard_count)
+            .map(|s| ctl.worker(s).last_delivery)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.dog.note_progress(progress);
+        let sets: Vec<&PendingSet> = (0..shard_count).map(|s| &ctl.worker(s).pending).collect();
+        match self.dog.check_many(now, &sets) {
+            Some(report) => {
+                self.reports.push(report);
+                if self.monitored {
+                    self.consecutive_stuck += 1;
+                    if self.consecutive_stuck >= STUCK_WINDOW_LIMIT {
+                        let mut tags: Vec<u64> = sets
+                            .iter()
+                            .flat_map(|set| set.iter().map(|(tag, _)| tag))
+                            .collect();
+                        tags.sort_unstable();
+                        self.violations.push((
+                            now.as_ps(),
+                            "hung-transactions".to_string(),
+                            format!(
+                                "no delivery for {STUCK_WINDOW_LIMIT} watchdog windows; \
+                                 stuck tags {tags:x?}"
+                            ),
+                        ));
+                        return BarrierVerdict::Stop;
+                    }
+                }
+            }
+            None => self.consecutive_stuck = 0,
+        }
+        BarrierVerdict::Continue
+    }
+}

@@ -4,11 +4,20 @@
 //! [`loadtest`](crate::loadtest) while a [`FaultPlan`] wounds the machine
 //! mid-run: links die (losing the packets on their wires), CPUs drain,
 //! RDRAM channels fail. The coherence layer's timeout-and-retry machinery
-//! ([`RetryPolicy`], [`PendingSet`], [`Watchdog`]) guarantees the
-//! robustness contract: **every transaction either completes (possibly
-//! after bounded-backoff retries) or is poisoned with a named cause** —
-//! nothing hangs silently, and a kernel-level watchdog reports the stuck
-//! set if delivery progress ever stops for a whole window.
+//! ([`RetryPolicy`], [`alphasim_coherence::PendingSet`], [`Watchdog`])
+//! guarantees the robustness contract: **every transaction either
+//! completes (possibly after bounded-backoff retries) or is poisoned with
+//! a named cause** — nothing hangs silently, and a kernel-level watchdog
+//! reports the stuck set if delivery progress ever stops for a whole
+//! window.
+//!
+//! Campaigns execute on the epoch-parallel engine (`crate::epoch`): the
+//! fabric, the requester-partitioned pending sets, and the home-node
+//! memory controllers are split into torus row-band regions driven by
+//! [`alphasim_kernel::shard::EpochExecutor`] on real threads, with fault
+//! strikes and watchdog ticks applied at epoch barriers. Every result
+//! stream is merged into a canonical order after the run, so the outcome
+//! is byte-identical at any `threads`/`shards` combination.
 //!
 //! [`FaultCampaign::run_monitored`] arms the always-on invariant monitors
 //! on top of the same loop: hung-transaction detection (with watchdog
@@ -19,27 +28,26 @@
 //! recovery path so the chaos engine can prove those monitors catch real
 //! bugs and that the shrinker minimizes the schedule that exposed them.
 
-use alphasim_cache::Addr;
-use alphasim_coherence::{LivelockReport, PendingSet, PendingTx, RetryPolicy, Watchdog};
+use alphasim_coherence::{LivelockReport, RetryPolicy, Watchdog};
+use alphasim_kernel::shard::EpochExecutor;
 use alphasim_kernel::stats::MeanP99;
 use alphasim_kernel::{DetRng, FaultKind, FaultPlan, SimDuration, SimTime};
-use alphasim_mem::{Zbox, ZboxAccess, ZboxConfig};
-use alphasim_net::{Delivery, MessageClass, NetworkSim, Step};
-use alphasim_telemetry::trace::PID_MEMORY;
-use alphasim_telemetry::{BreakdownTable, HopBreakdown, Registry, TraceSink};
+use alphasim_mem::{Zbox, ZboxConfig};
+use alphasim_net::partition::{tb_inject, FabricTables, RegionNet};
+use alphasim_net::NetworkSim;
+use alphasim_telemetry::trace::{PID_LINKS, PID_MEMORY, PID_MESSAGES};
+use alphasim_telemetry::{BreakdownTable, Registry, TraceSink};
 use alphasim_topology::{NodeId, Topology};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// Reserved timer tag for the watchdog tick (request tags are
-/// `cpu << 32 | seq` and can never collide with it).
-const WATCHDOG_TAG: u64 = u64::MAX;
+use crate::epoch::{fallback_lookahead, CampaignCfg, CampaignGuide, CampaignWorker, Ev};
 
 /// Consecutive no-progress watchdog windows a monitored run tolerates
 /// before declaring the pending set hung and stopping. Healthy retry
 /// chains deliver something well inside one window, so three silent
 /// windows in a row can only mean transactions that will never move.
-const STUCK_WINDOW_LIMIT: u32 = 3;
+pub(crate) const STUCK_WINDOW_LIMIT: u32 = 3;
 
 /// A deliberately broken recovery path. Chaos campaigns run each mutation
 /// to prove the invariant monitors catch the breakage and the shrinker
@@ -114,24 +122,6 @@ impl MonitorReport {
     }
 }
 
-/// Monitor scratch state threaded through a monitored run.
-struct MonitorState {
-    violations: Vec<Violation>,
-    consecutive_stuck_windows: u32,
-    /// Per-CPU: whether the node was ever drained (exempts it from the
-    /// window-refill and issue-quota checks).
-    ever_drained: Vec<bool>,
-}
-
-impl MonitorState {
-    fn violate(&mut self, monitor: &str, detail: String) {
-        self.violations.push(Violation {
-            monitor: monitor.to_string(),
-            detail,
-        });
-    }
-}
-
 /// How campaign CPUs pick the home of each read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CampaignPattern {
@@ -165,6 +155,11 @@ pub struct FaultCampaignConfig {
     /// [`alphasim_kernel::par::shards`]). Results are byte-identical at
     /// any value; the shard map only repartitions the queue.
     pub shards: usize,
+    /// Worker threads driving the region shards (`0` = resolve via the
+    /// campaign's default, then [`alphasim_kernel::par::threads`]).
+    /// Results are byte-identical at any value; threads only change which
+    /// core advances each region.
+    pub threads: usize,
     /// Deliberately broken recovery path for mutation testing (`None` =
     /// intact machinery). Only honoured by
     /// [`FaultCampaign::run_monitored`].
@@ -182,6 +177,7 @@ impl Default for FaultCampaignConfig {
             retry: RetryPolicy::gs1280_default(),
             watchdog_window: SimDuration::from_us(200.0),
             shards: 0,
+            threads: 0,
             mutation: None,
         }
     }
@@ -257,9 +253,10 @@ pub struct CampaignTelemetry {
 }
 
 /// Stage names of the load-to-use pipeline, in pipeline order. The
-/// collector pre-charges all of them with zero so the breakdown table's
-/// row order never depends on which transaction happens to finish first.
-const PIPELINE_STAGES: [&str; 16] = [
+/// aggregator pre-charges all of them with zero so the breakdown table's
+/// row order never depends on which transaction happens to finish first
+/// (or on which region it completed in).
+pub(crate) const PIPELINE_STAGES: [&str; 16] = [
     "request: queue + arbitration",
     "request: router pipeline",
     "request: wire flight",
@@ -278,140 +275,6 @@ const PIPELINE_STAGES: [&str; 16] = [
     "unattributed (retry / backoff)",
 ];
 
-/// Request-leg attribution parked between the request's arrival at the
-/// home node and its response's arrival back at the requester.
-struct RequestLeg {
-    request: HopBreakdown,
-    zbox_queue_ps: u64,
-    dram_ps: u64,
-    page_hit: bool,
-}
-
-/// Accumulates per-transaction attribution during an instrumented run.
-struct TelemetryCollector {
-    registry: Registry,
-    breakdown: BreakdownTable,
-    legs: BTreeMap<u64, RequestLeg>,
-}
-
-impl TelemetryCollector {
-    fn new() -> Self {
-        let mut breakdown = BreakdownTable::default();
-        for stage in PIPELINE_STAGES {
-            breakdown.charge(stage, 0);
-        }
-        TelemetryCollector {
-            registry: Registry::default(),
-            breakdown,
-            legs: BTreeMap::new(),
-        }
-    }
-
-    /// The home node served a request from its Zbox: park the request leg
-    /// until the response closes the transaction. Retried requests simply
-    /// overwrite the leg — the response that completes the read is the one
-    /// produced by the last request served.
-    fn on_request_served(&mut self, d: &Delivery, acc: &ZboxAccess, served_from: SimTime) {
-        self.legs.insert(
-            d.tag,
-            RequestLeg {
-                request: d.breakdown,
-                zbox_queue_ps: acc.started.since(served_from).as_ps(),
-                dram_ps: acc.completed.since(acc.started).as_ps(),
-                page_hit: acc.page_hit,
-            },
-        );
-    }
-
-    /// A read completed: charge every attributable picosecond of its
-    /// end-to-end latency to a pipeline stage. On a healthy run the stages
-    /// sum exactly to `e2e_ps`; anything the stages cannot explain (retry
-    /// backoff, time lost with a dropped packet) lands in the
-    /// `unattributed` stage, so the table always balances.
-    ///
-    /// The response-leg stages, the directory lookup that produced this
-    /// response, and the front end always lie on the completing path. The
-    /// parked request leg might not: retransmits reuse the transaction tag,
-    /// so a racing retry served while the first attempt's response was
-    /// already in flight overwrites the leg with stages that ran
-    /// *concurrently* with the completing trip. Charging those would
-    /// overshoot `e2e_ps` and break the exact-sum invariant (found by the
-    /// chaos fuzzer under hair-trigger timeouts), so a leg that no longer
-    /// fits inside the end-to-end budget is left unattributed instead.
-    fn on_complete(
-        &mut self,
-        tag: u64,
-        response: &HopBreakdown,
-        directory_ps: u64,
-        front_ps: u64,
-        e2e_ps: u64,
-    ) {
-        let mut known = 0u64;
-        for (stage, ps) in [
-            ("response: queue + arbitration", response.queued_ps),
-            ("response: router pipeline", response.router_ps),
-            ("response: wire flight", response.wire_ps),
-            ("response: link serialization", response.serialization_ps),
-            ("response: congestion penalty", response.congestion_ps),
-            ("directory lookup (fixed)", directory_ps),
-            ("front end (fixed)", front_ps),
-        ] {
-            self.breakdown.charge(stage, ps);
-            known += ps;
-        }
-        if let Some(leg) = self.legs.remove(&tag) {
-            let leg_total = leg.request.queued_ps
-                + leg.request.router_ps
-                + leg.request.wire_ps
-                + leg.request.serialization_ps
-                + leg.request.congestion_ps
-                + leg.zbox_queue_ps
-                + leg.dram_ps;
-            if known + leg_total <= e2e_ps {
-                for (stage, ps) in [
-                    ("request: queue + arbitration", leg.request.queued_ps),
-                    ("request: router pipeline", leg.request.router_ps),
-                    ("request: wire flight", leg.request.wire_ps),
-                    ("request: link serialization", leg.request.serialization_ps),
-                    ("request: congestion penalty", leg.request.congestion_ps),
-                    ("zbox queue", leg.zbox_queue_ps),
-                    (
-                        if leg.page_hit {
-                            "dram open page"
-                        } else {
-                            "dram closed page"
-                        },
-                        leg.dram_ps,
-                    ),
-                ] {
-                    self.breakdown.charge(stage, ps);
-                    known += ps;
-                }
-            }
-        }
-        self.breakdown.charge(
-            "unattributed (retry / backoff)",
-            e2e_ps.saturating_sub(known),
-        );
-        self.breakdown.complete_transaction(e2e_ps);
-    }
-}
-
-/// Mutable per-run state, grouped so the injection and retry paths can
-/// share it.
-struct RunState {
-    rngs: Vec<DetRng>,
-    issued: Vec<u64>,
-    pending: PendingSet,
-    dog_armed: bool,
-    poisoned: Vec<PoisonedTx>,
-    /// Highest attempt count any transaction reached (always tracked; it
-    /// is one integer max per retry).
-    max_attempts: u32,
-    /// Present on monitored runs only.
-    monitor: Option<MonitorState>,
-}
-
 /// A machine prepared for fault-injection load testing: a network with
 /// drop-on-failure semantics plus one memory controller per CPU node.
 pub struct FaultCampaign<T: Topology> {
@@ -421,6 +284,9 @@ pub struct FaultCampaign<T: Topology> {
     zboxes: Vec<Zbox>,
     front_overhead: SimDuration,
     directory_overhead: SimDuration,
+    /// Default worker-thread count when the config leaves `threads` at 0
+    /// (machine builders pass their own knob through here).
+    default_threads: usize,
 }
 
 impl<T: Topology> FaultCampaign<T> {
@@ -443,7 +309,14 @@ impl<T: Topology> FaultCampaign<T> {
             zboxes,
             front_overhead,
             directory_overhead,
+            default_threads: 0,
         }
+    }
+
+    /// Default worker-thread count for runs whose config leaves `threads`
+    /// at 0 (`0` = fall through to [`alphasim_kernel::par::threads`]).
+    pub fn set_default_threads(&mut self, threads: usize) {
+        self.default_threads = threads;
     }
 
     /// The bisection mirror of `cpu`: same row, column reflected across the
@@ -469,20 +342,9 @@ impl<T: Topology> FaultCampaign<T> {
             })
             .expect("mirror CPU exists")
     }
+}
 
-    fn pick_target(&self, cfg: &FaultCampaignConfig, cpu: usize, rng: &mut DetRng) -> usize {
-        match cfg.pattern {
-            CampaignPattern::UniformRemote => {
-                if self.cpus.len() == 1 {
-                    0
-                } else {
-                    rng.index_excluding(self.cpus.len(), cpu)
-                }
-            }
-            CampaignPattern::Bisection => self.bisection_partner(cpu),
-        }
-    }
-
+impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
     /// Run the campaign to completion. Panics (loudly, by design) if the
     /// fault plan would partition the fabric, or if `cfg` carries a
     /// [`RecoveryMutation`] — a broken recovery path can hang an
@@ -493,7 +355,7 @@ impl<T: Topology> FaultCampaign<T> {
             cfg.mutation.is_none(),
             "recovery mutations require run_monitored"
         );
-        self.run_inner(cfg, None, false).0
+        self.run_inner(cfg, false, false, false).0
     }
 
     /// Run the campaign with the always-on invariant monitors armed: hung
@@ -508,11 +370,10 @@ impl<T: Topology> FaultCampaign<T> {
         self,
         cfg: &FaultCampaignConfig,
     ) -> (CampaignResult, CampaignTelemetry, MonitorReport) {
-        let (result, telemetry, report) =
-            self.run_inner(cfg, Some(TelemetryCollector::new()), true);
+        let (result, telemetry, report) = self.run_inner(cfg, true, false, true);
         (
             result,
-            telemetry.expect("collector was provided"),
+            telemetry.expect("collection was requested"),
             report.expect("monitoring was requested"),
         )
     }
@@ -523,7 +384,7 @@ impl<T: Topology> FaultCampaign<T> {
     /// simulation — an instrumented run returns the same
     /// [`CampaignResult`] as [`run`](Self::run).
     pub fn run_instrumented(
-        mut self,
+        self,
         cfg: &FaultCampaignConfig,
         trace: bool,
     ) -> (CampaignResult, CampaignTelemetry) {
@@ -531,20 +392,15 @@ impl<T: Topology> FaultCampaign<T> {
             cfg.mutation.is_none(),
             "recovery mutations require run_monitored"
         );
-        if trace {
-            self.net.enable_trace();
-            if let Some(sink) = self.net.trace_mut() {
-                sink.name_process(PID_MEMORY, "memory: zbox dram service");
-            }
-        }
-        let (result, telemetry, _) = self.run_inner(cfg, Some(TelemetryCollector::new()), false);
-        (result, telemetry.expect("collector was provided"))
+        let (result, telemetry, _) = self.run_inner(cfg, true, trace, false);
+        (result, telemetry.expect("collection was requested"))
     }
 
     fn run_inner(
-        mut self,
+        self,
         cfg: &FaultCampaignConfig,
-        mut collector: Option<TelemetryCollector>,
+        collect: bool,
+        trace: bool,
         monitored: bool,
     ) -> (
         CampaignResult,
@@ -561,262 +417,227 @@ impl<T: Topology> FaultCampaign<T> {
         } else {
             cfg.shards
         };
-        if shards > 1 {
-            self.net.set_shards(shards);
-        }
-        self.net.install_fault_plan(&cfg.plan);
-        let ncpus = self.cpus.len();
-        let mut st = RunState {
-            rngs: (0..ncpus)
-                .map(|i| DetRng::seeded(cfg.seed).split(i as u64))
-                .collect(),
-            issued: vec![0u64; ncpus],
-            pending: PendingSet::new(),
-            dog_armed: false,
-            poisoned: Vec::new(),
-            max_attempts: 0,
-            monitor: monitored.then(|| MonitorState {
-                violations: Vec::new(),
-                consecutive_stuck_windows: 0,
-                ever_drained: vec![false; ncpus],
-            }),
+        let threads = if cfg.threads != 0 {
+            cfg.threads
+        } else if self.default_threads != 0 {
+            self.default_threads
+        } else {
+            alphasim_kernel::par::threads()
         };
-        let mut dog = Watchdog::new(cfg.watchdog_window);
-        let mut latencies = MeanP99::new();
-        let mut completion_times: Vec<SimTime> = Vec::new();
-        let mut reports: Vec<LivelockReport> = Vec::new();
-        let mut faults_applied: Vec<FaultKind> = Vec::new();
-        let mut last_delivery = SimTime::ZERO;
-
+        let ncpus = self.cpus.len();
+        let partners: Vec<usize> = match cfg.pattern {
+            CampaignPattern::Bisection => {
+                (0..ncpus).map(|cpu| self.bisection_partner(cpu)).collect()
+            }
+            CampaignPattern::UniformRemote => Vec::new(),
+        };
+        let master = FabricTables::new(
+            self.net.topology().clone(),
+            *self.net.timing(),
+            self.net.policy(),
+            shards,
+        );
+        let regions = master.region_count();
+        let node_count = self.zboxes.len();
+        let ccfg = Arc::new(CampaignCfg {
+            outstanding: cfg.outstanding,
+            requests_per_cpu: cfg.requests_per_cpu as u64,
+            retry: cfg.retry,
+            mutation: cfg.mutation,
+            pattern: cfg.pattern,
+            partners,
+            front_overhead: self.front_overhead,
+            directory_overhead: self.directory_overhead,
+            monitored,
+        });
+        let cpus = Arc::new(self.cpus.clone());
+        // Partition the memory controllers by home region: exactly one
+        // region owns each node's Zbox.
+        let mut zparts: Vec<Vec<Option<Zbox>>> = (0..regions)
+            .map(|_| (0..node_count).map(|_| None).collect())
+            .collect();
+        for (n, z) in self.zboxes.into_iter().enumerate() {
+            zparts[master.region_of(NodeId::new(n))][n] = Some(z);
+        }
+        let shared = Arc::new(master.clone());
+        let workers: Vec<CampaignWorker<T>> = zparts
+            .into_iter()
+            .enumerate()
+            .map(|(region, zboxes)| {
+                let mut net = RegionNet::new(region, shared.clone());
+                if trace {
+                    net.enable_trace();
+                }
+                CampaignWorker {
+                    cfg: ccfg.clone(),
+                    cpus: cpus.clone(),
+                    net,
+                    rngs: (0..ncpus)
+                        .map(|i| DetRng::seeded(cfg.seed).split(i as u64))
+                        .collect(),
+                    issued: vec![0u64; ncpus],
+                    pending: alphasim_coherence::PendingSet::new(),
+                    poisoned: Vec::new(),
+                    max_attempts: 0,
+                    latency_samples: Vec::new(),
+                    completions: Vec::new(),
+                    pending_log: Vec::new(),
+                    violations: Vec::new(),
+                    last_delivery: SimTime::ZERO,
+                    zboxes,
+                    ever_drained: vec![false; ncpus],
+                    breakdown: collect.then(BreakdownTable::default),
+                    steps: Vec::new(),
+                }
+            })
+            .collect();
+        let lookahead = master
+            .conservative_lookahead()
+            .unwrap_or_else(fallback_lookahead);
+        let mut exec = EpochExecutor::new(workers, lookahead, threads);
+        // Prime every CPU's issue window at time zero. Faults scheduled at
+        // zero strike first (the guide runs before any event fires), just
+        // as the sequential engine ordered them.
         for cpu in 0..ncpus {
-            for _ in 0..cfg.outstanding.min(cfg.requests_per_cpu) {
-                self.inject(cfg, cpu, SimTime::ZERO, &mut st);
+            exec.seed(
+                master.region_of(cpus[cpu]),
+                SimTime::ZERO,
+                tb_inject(cpu),
+                Ev::Inject { cpu },
+            );
+        }
+        let mut guide = CampaignGuide {
+            master,
+            cpus: cpus.clone(),
+            plan: cfg.plan.events().to_vec(),
+            plan_idx: 0,
+            window: cfg.watchdog_window,
+            dog: Watchdog::new(cfg.watchdog_window),
+            dog_next: SimTime::ZERO + cfg.watchdog_window,
+            live: true,
+            consecutive_stuck: 0,
+            monitored,
+            faults_applied: Vec::new(),
+            reports: Vec::new(),
+            violations: Vec::new(),
+            dropped: 0,
+            rerouted: 0,
+        };
+        let epoch_report = exec.run_guided(&mut guide);
+        let mut workers = exec.into_workers();
+
+        // ---- canonical aggregation ------------------------------------
+        // Every stream below is merged into an order that is a pure
+        // function of simulation identities (time, tag, node), never of
+        // shard count or thread interleaving.
+        let completed: u64 = workers.iter().map(|w| w.pending.completed()).sum();
+        let retries: u64 = workers.iter().map(|w| w.pending.retries()).sum();
+        let crc_retransmits: u64 = workers.iter().map(|w| w.net.crc_retransmits()).sum();
+        let max_attempts = workers.iter().map(|w| w.max_attempts).max().unwrap_or(0);
+        let last_delivery = workers
+            .iter()
+            .map(|w| w.last_delivery)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut poisoned: Vec<PoisonedTx> = workers
+            .iter_mut()
+            .flat_map(|w| w.poisoned.drain(..))
+            .collect();
+        poisoned.sort_by_key(|p| p.tag);
+        let mut completions: Vec<(SimTime, u64)> = workers
+            .iter_mut()
+            .flat_map(|w| w.completions.drain(..))
+            .collect();
+        completions.sort_unstable();
+        // The latency fold sorts its samples, so per-worker concatenation
+        // order cannot leak into the mean/p99.
+        let mut latencies = MeanP99::new();
+        for w in &workers {
+            for &sample in &w.latency_samples {
+                latencies.record(sample);
             }
         }
-
-        while let Some(step) = self.net.step() {
-            let now = self.net.now();
-            match step {
-                Step::Delivered(d) => {
-                    dog.note_progress(now);
-                    if let Some(m) = st.monitor.as_mut() {
-                        m.consecutive_stuck_windows = 0;
-                    }
-                    last_delivery = last_delivery.max(now);
-                    match d.class {
-                        MessageClass::Request => {
-                            if self.net.is_drained(d.dst) {
-                                // The home's whole node drained: its memory
-                                // is unreachable, so the request dies here
-                                // and the requester's timeout poisons it.
-                                continue;
-                            }
-                            // Serve even if no longer pending (a poisoned or
-                            // retried duplicate); the dup response is
-                            // discarded at the requester.
-                            let addr = Addr::new(
-                                (d.tag.wrapping_mul(0x9E3779B97F4A7C15) >> 16) & 0x3FFF_FFC0,
-                            );
-                            let served_from = now + self.directory_overhead;
-                            let acc = self.zboxes[d.dst.index()].access(served_from, addr, 64);
-                            if let Some(c) = collector.as_mut() {
-                                c.on_request_served(&d, &acc, served_from);
-                            }
-                            if let Some(sink) = self.net.trace_mut() {
-                                let tid = d.dst.index() as u32;
-                                sink.complete(
-                                    "dram read",
-                                    "mem",
-                                    PID_MEMORY,
-                                    tid,
-                                    served_from.as_ps(),
-                                    acc.completed.since(served_from).as_ps(),
-                                    &[("tag", d.tag), ("page_hit", u64::from(acc.page_hit))],
-                                );
-                            }
-                            let requester = self.cpus[(d.tag >> 32) as usize];
-                            self.net.send(
-                                acc.completed,
-                                d.dst,
-                                requester,
-                                MessageClass::BlockResponse,
-                                80,
-                                d.tag,
-                            );
-                        }
-                        MessageClass::BlockResponse => {
-                            let Some(tx) = st.pending.complete(d.tag) else {
-                                continue; // duplicate response from a retry
-                            };
-                            let e2e = now.since(tx.first_issued) + self.front_overhead;
-                            latencies.record(e2e);
-                            completion_times.push(now);
-                            if let Some(c) = collector.as_mut() {
-                                c.on_complete(
-                                    d.tag,
-                                    &d.breakdown,
-                                    self.directory_overhead.as_ps(),
-                                    self.front_overhead.as_ps(),
-                                    e2e.as_ps(),
-                                );
-                            }
-                            let cpu = (d.tag >> 32) as usize;
-                            self.inject_next(cfg, cpu, now, &mut st);
-                        }
-                        other => panic!("unexpected class {other:?}"),
-                    }
-                }
-                Step::Dropped(d) => {
-                    // The wire took the packet with it; retry immediately
-                    // rather than waiting out the timeout.
-                    self.retry_or_poison(cfg, d.tag, &mut st);
-                }
-                Step::Timer(WATCHDOG_TAG) => {
-                    st.dog_armed = false;
-                    if !st.pending.is_empty() {
-                        let stuck = match dog.check(now, &st.pending) {
-                            Some(report) => {
-                                reports.push(report);
-                                true
-                            }
-                            None => false,
-                        };
-                        // Watchdog escalation: a monitored run stops after
-                        // enough silent windows instead of re-arming
-                        // forever, so a hung pending set is reported as a
-                        // violation rather than hanging the harness.
-                        if let Some(m) = st.monitor.as_mut() {
-                            if stuck {
-                                m.consecutive_stuck_windows += 1;
-                                if m.consecutive_stuck_windows >= STUCK_WINDOW_LIMIT {
-                                    let tags: Vec<u64> =
-                                        st.pending.iter().map(|(tag, _)| tag).collect();
-                                    m.violate(
-                                        "hung-transactions",
-                                        format!(
-                                            "no delivery for {STUCK_WINDOW_LIMIT} watchdog \
-                                             windows; stuck tags {tags:x?}"
-                                        ),
-                                    );
-                                    break;
-                                }
-                            } else {
-                                m.consecutive_stuck_windows = 0;
-                            }
-                        }
-                        self.net.set_timer(now + cfg.watchdog_window, WATCHDOG_TAG);
-                        st.dog_armed = true;
-                    }
-                }
-                Step::Timer(tag) => {
-                    let overdue = st.pending.get(tag).is_some_and(|tx| tx.deadline <= now);
-                    // IgnoreTimeouts mutation: the expiry is dropped on the
-                    // floor, so lost transactions hang — which the
-                    // hung-transaction monitor must catch.
-                    if overdue && cfg.mutation != Some(RecoveryMutation::IgnoreTimeouts) {
-                        self.retry_or_poison(cfg, tag, &mut st);
-                    }
-                }
-                Step::Fault(kind) => {
-                    match kind {
-                        FaultKind::ChannelDown { node } => self.zboxes[node].fail_channel(),
-                        // Repair symmetry for the RDRAM channel loss;
-                        // tolerate a stray repair on a healthy Zbox.
-                        FaultKind::ChannelUp { node }
-                            if self.zboxes[node].failed_channels() > 0 =>
-                        {
-                            self.zboxes[node].restore_channel();
-                        }
-                        FaultKind::NodeDrain { node } => {
-                            if let Some(m) = st.monitor.as_mut() {
-                                if let Some(cpu) = self.cpus.iter().position(|c| c.index() == node)
-                                {
-                                    m.ever_drained[cpu] = true;
-                                }
-                            }
-                        }
-                        FaultKind::NodeUndrain { node } => {
-                            // The node resumes service: refill its issue
-                            // window so it works toward its quota again.
-                            if let Some(cpu) = self.cpus.iter().position(|c| c.index() == node) {
-                                let inflight = st
-                                    .pending
-                                    .iter()
-                                    .filter(|&(tag, _)| (tag >> 32) as usize == cpu)
-                                    .count();
-                                for _ in inflight..cfg.outstanding {
-                                    self.inject_next(cfg, cpu, now, &mut st);
-                                }
-                            }
-                        }
-                        _ => {}
-                    }
-                    faults_applied.push(kind);
-                    // After every strike the route tables and the sharded
-                    // queue's conservative lookahead must agree with their
-                    // brute-force oracles.
-                    if st.monitor.is_some() {
-                        if let Err(why) = self.net.audit_routes() {
-                            if let Some(m) = st.monitor.as_mut() {
-                                m.violate("route-consistency", why);
-                            }
-                        }
-                        if let Err(why) = self.net.audit_lookahead() {
-                            if let Some(m) = st.monitor.as_mut() {
-                                m.violate("lookahead-oracle", why);
-                            }
-                        }
-                    }
-                }
-                Step::Internal => {}
-            }
+        // Global pending-set peak: prefix-sum max over the merged
+        // occupancy deltas (at equal times a release sorts before an
+        // insert, the conservative reading).
+        let mut deltas: Vec<(u64, i8)> = workers
+            .iter_mut()
+            .flat_map(|w| w.pending_log.drain(..))
+            .collect();
+        deltas.sort_unstable();
+        let mut occupancy = 0i64;
+        let mut pending_peak = 0i64;
+        for &(_, d) in &deltas {
+            occupancy += i64::from(d);
+            pending_peak = pending_peak.max(occupancy);
         }
+        let issued_total: u64 = workers.iter().map(|w| w.issued.iter().sum::<u64>()).sum();
+        let pending_total: usize = workers.iter().map(|w| w.pending.len()).sum();
 
-        if let Some(m) = st.monitor.as_mut() {
-            if !st.pending.is_empty() && m.consecutive_stuck_windows < STUCK_WINDOW_LIMIT {
-                let tags: Vec<u64> = st.pending.iter().map(|(tag, _)| tag).collect();
-                m.violate(
-                    "hung-transactions",
-                    format!("survived the drain: tags {tags:x?}"),
-                );
+        let mut monitor_violations = monitored.then(|| {
+            let mut timed: Vec<(u64, String, String)> = workers
+                .iter_mut()
+                .flat_map(|w| w.violations.drain(..))
+                .chain(guide.violations.drain(..))
+                .collect();
+            timed.sort_unstable();
+            let mut violations: Vec<Violation> = timed
+                .into_iter()
+                .map(|(_, monitor, detail)| Violation { monitor, detail })
+                .collect();
+            if pending_total > 0 && guide.consecutive_stuck < STUCK_WINDOW_LIMIT {
+                let mut tags: Vec<u64> = workers
+                    .iter()
+                    .flat_map(|w| w.pending.iter().map(|(tag, _)| tag))
+                    .collect();
+                tags.sort_unstable();
+                violations.push(Violation {
+                    monitor: "hung-transactions".to_string(),
+                    detail: format!("survived the drain: tags {tags:x?}"),
+                });
             }
             // Issue quota: a CPU that was never drained must have issued
             // its full budget (a silently shrinking window stalls early).
             for cpu in 0..ncpus {
-                if !m.ever_drained[cpu]
-                    && !self.net.is_drained(self.cpus[cpu])
-                    && st.issued[cpu] < cfg.requests_per_cpu as u64
+                let owner = guide.master.region_of(cpus[cpu]);
+                let issued: u64 = workers.iter().map(|w| w.issued[cpu]).sum();
+                if !workers[owner].ever_drained[cpu]
+                    && !guide.master.is_drained(cpus[cpu])
+                    && issued < cfg.requests_per_cpu as u64
                 {
-                    m.violate(
-                        "issue-quota",
-                        format!(
-                            "cpu {cpu} issued {} of {} reads without ever draining",
-                            st.issued[cpu], cfg.requests_per_cpu
+                    violations.push(Violation {
+                        monitor: "issue-quota".to_string(),
+                        detail: format!(
+                            "cpu {cpu} issued {issued} of {} reads without ever draining",
+                            cfg.requests_per_cpu
                         ),
-                    );
+                    });
                 }
             }
             // Accounting: every issued read is completed, poisoned, or
             // (already reported above) still pending.
-            let accounted = st.pending.completed()
-                + st.poisoned.len() as u64
-                + st.pending.iter().count() as u64;
-            let issued: u64 = st.issued.iter().sum();
-            if accounted != issued {
-                m.violate(
-                    "accounting",
-                    format!("completed + poisoned + pending = {accounted} but issued = {issued}"),
-                );
+            let accounted = completed + poisoned.len() as u64 + pending_total as u64;
+            if accounted != issued_total {
+                violations.push(Violation {
+                    monitor: "accounting".to_string(),
+                    detail: format!(
+                        "completed + poisoned + pending = {accounted} but issued = {issued_total}"
+                    ),
+                });
             }
-        } else {
+            violations
+        });
+        if !monitored {
             assert!(
-                st.pending.is_empty(),
+                pending_total == 0,
                 "hung transactions survived the drain: {:?}",
-                st.pending.iter().map(|(tag, _)| tag).collect::<Vec<_>>()
+                workers
+                    .iter()
+                    .flat_map(|w| w.pending.iter().map(|(tag, _)| tag))
+                    .collect::<Vec<_>>()
             );
         }
 
-        let completed = st.pending.completed();
         let (mean_latency, p99_latency) = latencies.finish();
         let elapsed = last_delivery.since(SimTime::ZERO);
         let delivered_gbps = if elapsed > SimDuration::ZERO {
@@ -824,13 +645,11 @@ impl<T: Topology> FaultCampaign<T> {
         } else {
             0.0
         };
-        // Completions arrive in time order, so the p90 completion is a
-        // direct index; no sort needed.
-        let steady_gbps = match completion_times.len() {
+        let steady_gbps = match completions.len() {
             0 => 0.0,
             n => {
                 let idx = ((n * 9) / 10).min(n - 1);
-                let t = completion_times[idx].since(SimTime::ZERO);
+                let t = completions[idx].0.since(SimTime::ZERO);
                 if t > SimDuration::ZERO {
                     (idx + 1) as f64 * 64.0 / t.as_secs() / 1e9
                 } else {
@@ -838,56 +657,92 @@ impl<T: Topology> FaultCampaign<T> {
                 }
             }
         };
-        let telemetry = collector.map(|mut c| {
-            st.pending.export_metrics(&mut c.registry);
-            dog.export_metrics(&mut c.registry);
-            for z in &self.zboxes {
-                z.export_metrics(&mut c.registry);
+        let telemetry = collect.then(|| {
+            let mut registry = Registry::default();
+            registry.counter_add("coherence.completed", completed);
+            registry.counter_add("coherence.retries", retries);
+            registry.gauge_max("coherence.pending_peak", pending_peak as u64);
+            guide.dog.export_metrics(&mut registry);
+            for n in 0..node_count {
+                let owner = guide.master.region_of(NodeId::new(n));
+                workers[owner].zboxes[n]
+                    .as_ref()
+                    .expect("every node's zbox has exactly one owner region")
+                    .export_metrics(&mut registry);
             }
-            c.registry
-                .counter_add("net.dropped", self.net.dropped_count());
-            c.registry
-                .counter_add("net.rerouted", self.net.rerouted_count());
-            c.registry
-                .counter_add("campaign.poisoned", st.poisoned.len() as u64);
-            c.registry
-                .counter_add("campaign.faults_applied", faults_applied.len() as u64);
-            c.registry
-                .gauge_max("sim.event_queue_peak", self.net.event_queue_peak() as u64);
+            registry.counter_add("net.dropped", guide.dropped);
+            registry.counter_add("net.rerouted", guide.rerouted);
+            registry.counter_add("campaign.poisoned", poisoned.len() as u64);
+            registry.counter_add("campaign.faults_applied", guide.faults_applied.len() as u64);
+            registry.counter_add(
+                "sim.events_processed",
+                epoch_report.processed.iter().sum::<u64>(),
+            );
+            // Pre-charge the stage rows so the merged table's row order is
+            // the pipeline order, never completion order.
+            let mut breakdown = BreakdownTable::default();
+            for stage in PIPELINE_STAGES {
+                breakdown.charge(stage, 0);
+            }
+            for w in &workers {
+                if let Some(bd) = w.breakdown.as_ref() {
+                    breakdown.merge(bd);
+                }
+            }
+            let trace_sink = trace.then(|| {
+                let mut sink = TraceSink::new();
+                sink.name_process(PID_MESSAGES, "network: message lifetimes");
+                sink.name_process(PID_LINKS, "network: link occupancy");
+                for cpu in cpus.iter() {
+                    sink.name_thread(
+                        PID_MESSAGES,
+                        cpu.index() as u32,
+                        &format!("node {}", cpu.index()),
+                    );
+                }
+                sink.name_process(PID_MEMORY, "memory: zbox dram service");
+                for w in workers.iter_mut() {
+                    if let Some(region_sink) = w.net.take_trace() {
+                        sink.merge_from(region_sink);
+                    }
+                }
+                sink.canonical_sort();
+                sink
+            });
             CampaignTelemetry {
-                registry: c.registry,
-                breakdown: c.breakdown,
-                trace: self.net.take_trace(),
+                registry,
+                breakdown,
+                trace: trace_sink,
             }
         });
         // Telemetry exact-sum: the breakdown must balance to the last
         // picosecond even on a wounded run (shortfall lands in the
         // unattributed bucket, never vanishes).
-        if let (Some(m), Some(t)) = (st.monitor.as_mut(), telemetry.as_ref()) {
+        if let (Some(violations), Some(t)) = (monitor_violations.as_mut(), telemetry.as_ref()) {
             if t.breakdown.charged_ps() != t.breakdown.end_to_end_ps() {
-                m.violate(
-                    "telemetry-balance",
-                    format!(
+                violations.push(Violation {
+                    monitor: "telemetry-balance".to_string(),
+                    detail: format!(
                         "charged {} ps != end-to-end {} ps",
                         t.breakdown.charged_ps(),
                         t.breakdown.end_to_end_ps()
                     ),
-                );
+                });
             }
         }
-        let report = st.monitor.take().map(|m| MonitorReport {
-            violations: m.violations,
-            max_attempts: st.max_attempts,
+        let report = monitor_violations.map(|violations| MonitorReport {
+            violations,
+            max_attempts,
         });
         let result = CampaignResult {
             completed,
-            retries: st.pending.retries(),
-            dropped: self.net.dropped_count(),
-            rerouted: self.net.rerouted_count(),
-            poisoned: st.poisoned,
-            watchdog_reports: reports,
-            faults_applied,
-            crc_retransmits: self.net.crc_retransmit_count(),
+            retries,
+            dropped: guide.dropped,
+            rerouted: guide.rerouted,
+            poisoned,
+            watchdog_reports: guide.reports,
+            faults_applied: guide.faults_applied,
+            crc_retransmits,
             mean_latency,
             p99_latency,
             delivered_gbps,
@@ -895,159 +750,6 @@ impl<T: Topology> FaultCampaign<T> {
             elapsed,
         };
         (result, telemetry, report)
-    }
-
-    fn inject(&mut self, cfg: &FaultCampaignConfig, cpu: usize, at: SimTime, st: &mut RunState) {
-        let seq = st.issued[cpu];
-        st.issued[cpu] += 1;
-        let target = self.pick_target(cfg, cpu, &mut st.rngs[cpu]);
-        let home = self.cpus[target];
-        let tag = ((cpu as u64) << 32) | seq;
-        let deadline = at + cfg.retry.timeout;
-        st.pending.insert(
-            tag,
-            PendingTx {
-                src: self.cpus[cpu].index(),
-                home: home.index(),
-                first_issued: at,
-                deadline,
-                attempts: 1,
-            },
-        );
-        self.net
-            .send(at, self.cpus[cpu], home, MessageClass::Request, 16, tag);
-        self.net.set_timer(deadline, tag);
-        if !st.dog_armed {
-            self.net.set_timer(at + cfg.watchdog_window, WATCHDOG_TAG);
-            st.dog_armed = true;
-        }
-    }
-
-    /// Issue `cpu`'s next read, if it still has budget and has not drained.
-    /// Called when a read completes *or* is poisoned, so a CPU's window
-    /// never silently shrinks as faults eat its transactions.
-    fn inject_next(
-        &mut self,
-        cfg: &FaultCampaignConfig,
-        cpu: usize,
-        at: SimTime,
-        st: &mut RunState,
-    ) {
-        if st.issued[cpu] < cfg.requests_per_cpu as u64 && !self.net.is_drained(self.cpus[cpu]) {
-            self.inject(cfg, cpu, at, st);
-        }
-    }
-
-    /// A transaction timed out or its packet died with a wire: re-issue the
-    /// request after bounded exponential backoff, or poison it with a named
-    /// cause past `max_retries` (or when either end has drained). A poisoned
-    /// read frees its window slot, so the CPU issues its next read.
-    fn retry_or_poison(&mut self, cfg: &FaultCampaignConfig, tag: u64, st: &mut RunState) {
-        let Some(tx) = st.pending.get(tag).copied() else {
-            return; // completed in the meantime (e.g. drop of a dup response)
-        };
-        let now = self.net.now();
-        let src = NodeId::new(tx.src);
-        // OffByOneRetry mutation: the poison threshold slips by one, so
-        // transactions overrun the retry bound — which the retry-bound
-        // monitor must catch on the extra attempt.
-        let max_retries = if cfg.mutation == Some(RecoveryMutation::OffByOneRetry) {
-            cfg.retry.max_retries + 1
-        } else {
-            cfg.retry.max_retries
-        };
-        let cause = if self.net.is_drained(src) {
-            Some(format!("source cpu {} drained mid-flight", tx.src))
-        } else if self.net.is_drained(NodeId::new(tx.home)) {
-            Some(format!("home node {} drained; memory unreachable", tx.home))
-        } else if tx.attempts > max_retries {
-            Some(format!(
-                "exhausted {} retries (timeout {} per attempt)",
-                cfg.retry.max_retries, cfg.retry.timeout
-            ))
-        } else {
-            None
-        };
-        if let Some(cause) = cause {
-            st.max_attempts = st.max_attempts.max(tx.attempts);
-            if cfg.mutation == Some(RecoveryMutation::LeakPoison) {
-                // Deliberately broken: the abandoned entry stays pending.
-            } else {
-                st.pending.poison(tag).expect("checked above");
-            }
-            if let Some(m) = st.monitor.as_mut() {
-                if st.pending.get(tag).is_some() {
-                    m.violate(
-                        "poison-leak",
-                        format!("tag {tag:#x} still pending after poisoning"),
-                    );
-                }
-            }
-            st.poisoned.push(PoisonedTx {
-                tag,
-                cpu: (tag >> 32) as usize,
-                home: tx.home,
-                attempts: tx.attempts,
-                cause,
-            });
-            let cpu = (tag >> 32) as usize;
-            if cfg.mutation == Some(RecoveryMutation::SkipWindowRefill) {
-                // Deliberately broken: the freed window slot is not refilled.
-            } else {
-                self.inject_next(cfg, cpu, now, st);
-            }
-            // Window integrity: a live, never-drained CPU with quota left
-            // must run a full window after the slot is recycled.
-            let ever_drained = st.monitor.as_ref().is_some_and(|m| m.ever_drained[cpu]);
-            if st.monitor.is_some()
-                && !ever_drained
-                && !self.net.is_drained(self.cpus[cpu])
-                && st.issued[cpu] < cfg.requests_per_cpu as u64
-            {
-                let inflight = st
-                    .pending
-                    .iter()
-                    .filter(|&(t, _)| (t >> 32) as usize == cpu)
-                    .count();
-                if inflight < cfg.outstanding {
-                    if let Some(m) = st.monitor.as_mut() {
-                        m.violate(
-                            "window-refill",
-                            format!(
-                                "cpu {cpu} runs {inflight} of {} window slots after a poison",
-                                cfg.outstanding
-                            ),
-                        );
-                    }
-                }
-            }
-            return;
-        }
-        let backoff = cfg.retry.backoff(tx.attempts);
-        let resend_at = now + backoff;
-        let deadline = resend_at + cfg.retry.timeout;
-        let attempts = st.pending.retry(tag, deadline);
-        st.max_attempts = st.max_attempts.max(attempts);
-        if attempts > cfg.retry.max_retries + 1 {
-            if let Some(m) = st.monitor.as_mut() {
-                m.violate(
-                    "retry-bound",
-                    format!(
-                        "tag {tag:#x} reached attempt {attempts}; the policy allows {}",
-                        cfg.retry.max_retries + 1
-                    ),
-                );
-            }
-        }
-        self.net.send(
-            resend_at,
-            src,
-            NodeId::new(tx.home),
-            MessageClass::Request,
-            16,
-            tag,
-        );
-        self.net.set_timer(deadline, tag);
     }
 }
 
@@ -1059,12 +761,14 @@ pub fn gs1280_fault_campaign(machine: &crate::Gs1280) -> FaultCampaign<crate::gs
         bandwidth_gbps: calib.zbox.bandwidth_gbps * 2.0,
         ..calib.zbox
     };
-    FaultCampaign::new(
+    let mut campaign = FaultCampaign::new(
         machine.network(),
         zbox,
         calib.local_fixed,
         calib.remote_fixed,
-    )
+    );
+    campaign.set_default_threads(machine.worker_threads());
+    campaign
 }
 
 #[cfg(test)]
@@ -1281,7 +985,7 @@ mod tests {
             t.registry.counter("zbox.page_hits") + t.registry.counter("zbox.page_misses"),
             r.completed
         );
-        assert!(t.registry.gauge("sim.event_queue_peak") > 0);
+        assert!(t.registry.counter("sim.events_processed") > 0);
         assert!(t.registry.gauge("coherence.pending_peak") >= cfg.outstanding as u64);
         assert!(t.trace.is_none(), "tracing was not requested");
     }

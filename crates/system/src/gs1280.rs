@@ -71,6 +71,7 @@ pub struct Gs1280Builder {
     striping: bool,
     mem_per_cpu: u64,
     shards: usize,
+    threads: usize,
 }
 
 impl Gs1280Builder {
@@ -119,6 +120,15 @@ impl Gs1280Builder {
         self
     }
 
+    /// Worker threads for every fault campaign this machine hands out
+    /// (`0`, the default, resolves via
+    /// [`alphasim_kernel::par::threads`]). Threads drive the region shards
+    /// on real cores without changing any result byte.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Construct the machine.
     ///
     /// # Panics
@@ -151,6 +161,7 @@ impl Gs1280Builder {
             map: AddressMap::new(self.cpus, self.mem_per_cpu, interleave),
             one_way,
             shards: self.shards,
+            threads: self.threads,
         }
     }
 }
@@ -165,6 +176,7 @@ pub struct Gs1280 {
     map: AddressMap,
     one_way: Vec<Vec<SimDuration>>,
     shards: usize,
+    threads: usize,
 }
 
 impl Gs1280 {
@@ -178,7 +190,14 @@ impl Gs1280 {
             striping: false,
             mem_per_cpu: 1 << 30,
             shards: 0,
+            threads: 0,
         }
+    }
+
+    /// Configured worker-thread count (`0` = resolve via
+    /// [`alphasim_kernel::par::threads`] at run time).
+    pub fn worker_threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of CPUs.

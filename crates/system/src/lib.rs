@@ -32,6 +32,7 @@
 mod calibration;
 pub mod chaos;
 mod coherent;
+mod epoch;
 mod es45;
 pub mod faulty;
 mod gs1280;

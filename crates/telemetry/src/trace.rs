@@ -101,6 +101,27 @@ impl TraceSink {
         });
     }
 
+    /// Append every event (complete and metadata) of `other` to this sink.
+    /// Used by the epoch-parallel engine to combine per-region sinks after
+    /// a run; follow with [`canonical_sort`](Self::canonical_sort) so the
+    /// merged order is independent of how regions partitioned the work.
+    pub fn merge_from(&mut self, other: TraceSink) {
+        self.events.extend(other.events);
+        self.meta.extend(other.meta);
+    }
+
+    /// Sort complete events into a canonical total order — by start time,
+    /// then lane (`pid`, `tid`), then duration, name, category, and args.
+    /// Two runs that record the same event *set* then serialize to the
+    /// same bytes regardless of recording order; metadata events keep
+    /// insertion order (emitters add them once, in a fixed order).
+    pub fn canonical_sort(&mut self) {
+        self.events.sort_by(|a, b| {
+            (a.start_ps, a.pid, a.tid, a.dur_ps, &a.name, &a.cat, &a.args)
+                .cmp(&(b.start_ps, b.pid, b.tid, b.dur_ps, &b.name, &b.cat, &b.args))
+        });
+    }
+
     /// Number of complete events recorded (metadata excluded).
     pub fn len(&self) -> usize {
         self.events.len()
@@ -177,6 +198,28 @@ mod tests {
         assert!(s.contains("\"dur\":0.5"), "{s}");
         assert!(s.contains("\"hops\":2"), "{s}");
         assert!(s.ends_with('\n'), "newline-terminated file body");
+    }
+
+    #[test]
+    fn merged_sinks_sort_to_recording_order_independent_bytes() {
+        let event = |t: &mut TraceSink, n: &str, start: u64| {
+            t.complete(n, "msg", 1, 0, start, 10, &[("tag", start)]);
+        };
+        let mut a = TraceSink::new();
+        let mut b = TraceSink::new();
+        event(&mut a, "x", 30);
+        event(&mut a, "x", 10);
+        event(&mut b, "y", 20);
+        let mut ab = TraceSink::new();
+        ab.merge_from(a.clone());
+        ab.merge_from(b.clone());
+        let mut ba = TraceSink::new();
+        ba.merge_from(b);
+        ba.merge_from(a);
+        ab.canonical_sort();
+        ba.canonical_sort();
+        assert_eq!(ab.to_json_string(), ba.to_json_string());
+        assert_eq!(ab.len(), 3);
     }
 
     #[test]
