@@ -26,6 +26,14 @@
 //! tiebreak ids, and barrier exchange applies outboxes in ascending region
 //! order. The same seeds therefore produce the same event order — and the
 //! same bytes — at 1, 2, or 4 shards, on 1 or 8 threads.
+//!
+//! The ownership discipline this module hands its users — workers emit
+//! cross-region effects only through [`Outbox::emit`], guides mutate
+//! workers only through the barrier-scoped [`EpochControl`] — is checked
+//! statically by the `verify::ownership` pass: `Outbox` must expose no
+//! public fields and [`ShardWorker::handle`] must take `&mut Outbox`, so
+//! a worker cannot even type an effect that bypasses the lookahead
+//! contract. `cargo run -p verify --bin ownership` enforces it in CI.
 
 use alphasim_telemetry::global::{EVENT_QUEUE_PEAK, EVENT_QUEUE_SHARD_PEAKS, MAX_TRACKED_SHARDS};
 

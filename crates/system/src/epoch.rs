@@ -23,6 +23,15 @@
 //! canonical order after the run. The same config therefore produces the
 //! same bytes at any `--threads`/`--shards` combination — the invariant
 //! `reproduce --check` enforces for every committed artifact.
+//!
+//! The worker/guide state partition is also **statically checked**: the
+//! `verify::ownership` pass parses this file and proves that no worker
+//! method reaches for the [`EpochControl`], names guide-plane state, or
+//! carries a shared-mutable accumulator field, and that every guide-side
+//! worker mutation is gated by an `EpochControl` parameter (the handle
+//! exists only at barriers, so the signature is the proof). `cargo run
+//! -p verify --bin ownership` fails on any violation, and the per-field
+//! access map is committed in `results/verify.json`.
 
 use std::sync::Arc;
 

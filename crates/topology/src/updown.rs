@@ -171,6 +171,18 @@ impl UpDownRoutes {
     /// allowed), phase 1 = descending (down hops only). `u32::MAX` marks
     /// states that cannot reach `dst` legally.
     fn distances_to<T: Topology + ?Sized>(&self, topo: &T, dst: NodeId) -> Vec<u32> {
+        self.distances_to_with(topo, dst, &reverse_adjacency(topo))
+    }
+
+    /// [`distances_to`](Self::distances_to) with the reverse adjacency
+    /// supplied by the caller, so all-pairs sweeps build it once instead
+    /// of once per destination.
+    fn distances_to_with<T: Topology + ?Sized>(
+        &self,
+        topo: &T,
+        dst: NodeId,
+        radj: &[Vec<NodeId>],
+    ) -> Vec<u32> {
         let n = topo.node_count();
         // Backward BFS over the layered legality graph: forward transitions
         // are (v, up) -up-> (w, up), (v, up) -down-> (w, down),
@@ -184,13 +196,9 @@ impl UpDownRoutes {
         while let Some(state) = queue.pop_front() {
             let (phase, node) = (state / n, state % n);
             let d = dist[state];
-            // Predecessors (v, pp) with a forward edge into (node, phase):
-            // every port v -> node; legality depends on the hop direction.
-            for v in 0..n {
-                let from = NodeId::new(v);
-                if !topo.ports(from).iter().any(|p| p.to.index() == node) {
-                    continue;
-                }
+            // Predecessors (v, pp) with a forward edge into (node, phase);
+            // legality depends on the hop direction.
+            for &from in &radj[node] {
                 let up_hop = self.is_up(from, NodeId::new(node));
                 let preds: &[usize] = match (up_hop, phase) {
                     (true, 0) => &[0],     // up hop keeps the up phase
@@ -200,7 +208,7 @@ impl UpDownRoutes {
                     _ => &[],
                 };
                 for &pp in preds {
-                    let s = pp * n + v;
+                    let s = pp * n + from.index();
                     if dist[s] == u32::MAX {
                         dist[s] = d + 1;
                         queue.push_back(s);
@@ -215,20 +223,48 @@ impl UpDownRoutes {
     /// lexicographic order.
     pub fn all_pairs<T: Topology + ?Sized>(&self, topo: &T) -> Vec<Vec<EscapeChannel>> {
         let n = topo.node_count();
+        let mut paths = Vec::with_capacity(n * (n - 1));
+        self.for_each_pair(topo, |path| paths.push(path.to_vec()));
+        paths
+    }
+
+    /// Visit the up*/down* path of every ordered endpoint pair in
+    /// `(src, dst)` lexicographic order without materializing them all —
+    /// at 1024 nodes the million-path vector of [`all_pairs`]
+    /// (Self::all_pairs) costs hundreds of megabytes, while the visitor
+    /// needs one path at a time.
+    pub fn for_each_pair<T: Topology + ?Sized>(
+        &self,
+        topo: &T,
+        mut visit: impl FnMut(&[EscapeChannel]),
+    ) {
+        let n = topo.node_count();
+        let radj = reverse_adjacency(topo);
         // One backward BFS per destination, shared across all sources.
         let dists: Vec<Vec<u32>> = (0..n)
-            .map(|dst| self.distances_to(topo, NodeId::new(dst)))
+            .map(|dst| self.distances_to_with(topo, NodeId::new(dst), &radj))
             .collect();
-        let mut paths = Vec::with_capacity(n * (n - 1));
         for src in 0..n {
             for (dst, dist) in dists.iter().enumerate() {
                 if src != dst {
-                    paths.push(self.path_with_dist(topo, NodeId::new(src), NodeId::new(dst), dist));
+                    visit(&self.path_with_dist(topo, NodeId::new(src), NodeId::new(dst), dist));
                 }
             }
         }
-        paths
     }
+}
+
+/// `radj[w]` lists every node with a port into `w`, in port-scan order.
+fn reverse_adjacency<T: Topology + ?Sized>(topo: &T) -> Vec<Vec<NodeId>> {
+    let n = topo.node_count();
+    let mut radj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in 0..n {
+        let from = NodeId::new(v);
+        for p in topo.ports(from) {
+            radj[p.to.index()].push(from);
+        }
+    }
+    radj
 }
 
 #[cfg(test)]

@@ -1,0 +1,34 @@
+//! Epoch-engine ownership lint, `-D` semantics: any partition violation is
+//! fatal. Run as `cargo run -p verify --bin ownership`.
+
+use verify::ownership;
+
+fn main() {
+    let root = verify::workspace_root();
+    let scan = match ownership::scan_workspace(&root) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("ownership: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    print!("{}", ownership::describe(&scan.findings));
+    for (ty, fields) in &scan.access {
+        let reads: usize = fields.values().map(|a| a.reads).sum();
+        let writes: usize = fields.values().map(|a| a.writes).sum();
+        let barrier: usize = fields.values().map(|a| a.barrier).sum();
+        println!(
+            "ownership: {ty}: {} field(s), {reads} read(s), {writes} write(s), \
+             {barrier} barrier-path access(es)",
+            fields.len()
+        );
+    }
+    println!(
+        "ownership lint: {} file(s) scanned, {} partition violation(s)",
+        scan.files,
+        scan.findings.len()
+    );
+    if !scan.findings.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,16 +1,113 @@
-//! Regenerate (or check) the `results/verify.json` verification artifact.
+//! Regenerate (or check) the `results/verify.json` verification artifact,
+//! or run one targeted analysis for the CI matrix.
 //!
 //! ```text
 //! cargo run --release -p verify --bin report                   # rewrite
 //! cargo run --release -p verify --bin report -- --check PATH   # assert byte-identical
+//! cargo run --release -p verify --bin report -- --mc 6         # recovery protocol, 6 CPUs
+//! cargo run --release -p verify --bin report -- --cdg 32x32    # certify one torus
 //! ```
+//!
+//! `--mc N` exhausts the fault-extended recovery protocol at N CPUs under
+//! symmetry + partial-order reduction and re-catches every seeded
+//! mutation; `--cdg CxR` certifies the healthy C×R torus acyclic and
+//! sweeps its degraded configurations (exhaustively at 8×8 and below,
+//! seeded-sampled above). Both exit non-zero on any violation.
 
-use verify::report;
+use verify::mc::{check_reduced, Reduction, Verdict};
+use verify::protocol::{Mutation, ProtocolModel};
+use verify::{cdg, report};
+
+fn run_mc(cpus: usize) {
+    let max_retries = if cpus <= 3 { 2 } else { 1 };
+    let model = ProtocolModel::recovery(cpus, max_retries);
+    match check_reduced(&model, 2_000_000, Reduction::FULL) {
+        Verdict::Pass(e) => println!(
+            "mc: recovery protocol clean at {cpus} CPUs (max_retries {max_retries}): \
+             {} states, {} transitions, depth {}",
+            e.states, e.transitions, e.depth
+        ),
+        Verdict::Violated(cex) => {
+            eprintln!(
+                "mc: recovery protocol violated at {cpus} CPUs:\n{}",
+                cex.describe()
+            );
+            std::process::exit(1);
+        }
+    }
+    for m in Mutation::SEEDED.iter().chain(&Mutation::RECOVERY_SEEDED) {
+        let mutated = ProtocolModel::recovery_mutated(cpus.min(4), max_retries, *m);
+        match check_reduced(&mutated, 2_000_000, Reduction::FULL) {
+            Verdict::Violated(cex) => println!(
+                "mc: mutation {} caught in {} steps (violates: {})",
+                m.id(),
+                cex.steps.len(),
+                cex.invariant
+            ),
+            Verdict::Pass(_) => {
+                eprintln!("mc: seeded mutation {} was NOT caught", m.id());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn run_cdg(spec: &str) {
+    let (cols, rows) = spec
+        .split_once('x')
+        .and_then(|(c, r)| Some((c.parse().ok()?, r.parse().ok()?)))
+        .unwrap_or_else(|| {
+            eprintln!("cdg: expected COLSxROWS, got {spec:?}");
+            std::process::exit(2);
+        });
+    let healthy = cdg::healthy_torus(cols, rows, true)
+        .verdict()
+        .expect_acyclic();
+    println!(
+        "cdg: healthy {cols}x{rows} torus acyclic ({} channels, {} edges)",
+        healthy.channels, healthy.edges
+    );
+    let sweep = if cols * rows <= 64 {
+        cdg::sweep_single_cuts(cols, rows)
+    } else {
+        cdg::sweep_sampled_single_cuts(cols, rows, 16, cdg::SAMPLE_SEED)
+    };
+    match sweep {
+        Ok(s) => println!(
+            "cdg: {} degraded configuration(s) acyclic (max {} channels, {} edges)",
+            s.configs, s.max_channels, s.max_edges
+        ),
+        Err(e) => {
+            eprintln!("cdg: degraded sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--mc") => {
+            let cpus = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--mc requires a CPU count (2..=8)");
+                std::process::exit(2);
+            });
+            run_mc(cpus);
+            return;
+        }
+        Some("--cdg") => {
+            let spec = args.get(1).cloned().unwrap_or_else(|| {
+                eprintln!("--cdg requires a COLSxROWS torus spec");
+                std::process::exit(2);
+            });
+            run_cdg(&spec);
+            return;
+        }
+        _ => {}
+    }
     let mut check = false;
     let mut path = None;
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         match arg.as_str() {
             "--check" => check = true,
             other => path = Some(other.to_string()),

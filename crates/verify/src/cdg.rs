@@ -116,37 +116,84 @@ pub fn describe_cycle(cycle: &[Channel]) -> String {
     s
 }
 
-impl Cdg {
-    /// Build the full CDG from per-pair hop sequences (class-less escape
-    /// paths; each is replicated across every coherence class lane).
-    pub fn build(paths: &[Vec<EscapeChannel>]) -> Cdg {
-        // Per-node sets of first hops out of it and last hops into it,
-        // for the protocol edges.
-        let mut first_from: BTreeMap<NodeId, BTreeSet<EscapeChannel>> = BTreeMap::new();
-        let mut last_into: BTreeMap<NodeId, BTreeSet<EscapeChannel>> = BTreeMap::new();
-        let mut vertices: BTreeSet<Channel> = BTreeSet::new();
-        for path in paths {
-            let (Some(first), Some(last)) = (path.first(), path.last()) else {
-                continue; // src == dst: no fabric hops
-            };
-            first_from.entry(first.from).or_default().insert(*first);
-            last_into.entry(last.to).or_default().insert(*last);
+/// Streaming CDG construction: paths are fed one at a time into a compact
+/// *class-less* hop graph, and the per-class expansion happens once at
+/// [`finish`](CdgBuilder::finish). Routing is class-oblivious (classes ride
+/// disjoint VC lanes of the same physical route), so the hop graph is 5×
+/// smaller than the final CDG and the hot per-path loop never touches
+/// classes at all. At 32×32 this replaces a ~million-path materialization
+/// (hundreds of megabytes) with a graph bounded by the link count.
+#[derive(Debug, Default)]
+pub struct CdgBuilder {
+    /// Hop id by channel; ids are assigned in first-seen order and
+    /// re-ranked into ascending order at `finish`.
+    hop_id: BTreeMap<EscapeChannel, usize>,
+    hops: Vec<EscapeChannel>,
+    /// Class-less routing edges between hop ids.
+    edges: BTreeSet<(usize, usize)>,
+    /// Per-node first hops of some route out of it (hop ids).
+    first_from: BTreeMap<NodeId, BTreeSet<usize>>,
+    /// Per-node last hops of some route into it (hop ids).
+    last_into: BTreeMap<NodeId, BTreeSet<usize>>,
+}
+
+impl CdgBuilder {
+    /// An empty builder.
+    pub fn new() -> CdgBuilder {
+        CdgBuilder::default()
+    }
+
+    fn intern(&mut self, hop: EscapeChannel) -> usize {
+        if let Some(&id) = self.hop_id.get(&hop) {
+            return id;
+        }
+        let id = self.hops.len();
+        self.hop_id.insert(hop, id);
+        self.hops.push(hop);
+        id
+    }
+
+    /// Ingest one (src, dst) escape path. Empty paths (src == dst) are
+    /// ignored.
+    pub fn add_path(&mut self, path: &[EscapeChannel]) {
+        let (Some(&first), Some(&last)) = (path.first(), path.last()) else {
+            return; // src == dst: no fabric hops
+        };
+        let fid = self.intern(first);
+        let lid = self.intern(last);
+        self.first_from.entry(first.from).or_default().insert(fid);
+        self.last_into.entry(last.to).or_default().insert(lid);
+        let mut prev = fid;
+        for &hop in &path[1..] {
+            let id = self.intern(hop);
+            self.edges.insert((prev, id));
+            prev = id;
+        }
+    }
+
+    /// Expand the class-less hop graph into the full per-class CDG.
+    pub fn finish(self) -> Cdg {
+        let nclass = MessageClass::ALL.len();
+        // Re-rank hops into ascending EscapeChannel order so vertex id
+        // `rank * nclass + class` lists channels in ascending Channel
+        // order (class is the least-significant Ord component).
+        let mut order: Vec<usize> = (0..self.hops.len()).collect();
+        order.sort_unstable_by_key(|&i| self.hops[i]);
+        let mut rank = vec![0usize; self.hops.len()];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i] = r;
+        }
+        let mut channels = Vec::with_capacity(self.hops.len() * nclass);
+        for &i in &order {
             for class in MessageClass::ALL {
-                for hop in path {
-                    vertices.insert(lane(*hop, class));
-                }
+                channels.push(lane(self.hops[i], class));
             }
         }
-        let channels: Vec<Channel> = vertices.iter().copied().collect();
-        let id: BTreeMap<Channel, usize> =
-            channels.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); channels.len()];
         // Routing edges: consecutive hops of every path, per class lane.
-        for path in paths {
-            for pair in path.windows(2) {
-                for class in MessageClass::ALL {
-                    adj[id[&lane(pair[0], class)]].insert(id[&lane(pair[1], class)]);
-                }
+        for &(a, b) in &self.edges {
+            for k in 0..nclass {
+                adj[rank[a] * nclass + k].insert(rank[b] * nclass + k);
             }
         }
         // Protocol edges: last hop of a c-route into v depends on first
@@ -154,24 +201,42 @@ impl Cdg {
         // self-generation is excluded (endpoint-sink assumption, see the
         // module docs) — which `c != c'` covers, since no other class
         // generates itself.
-        for (&v, lasts) in &last_into {
-            let Some(firsts) = first_from.get(&v) else {
+        for (&v, lasts) in &self.last_into {
+            let Some(firsts) = self.first_from.get(&v) else {
                 continue;
             };
-            for c in MessageClass::ALL {
+            for (ci, c) in MessageClass::ALL.into_iter().enumerate() {
                 for &c2 in c.may_generate() {
                     if c2 == c {
                         continue;
                     }
+                    let cj = MessageClass::ALL
+                        .iter()
+                        .position(|&x| x == c2)
+                        .expect("may_generate stays within ALL");
                     for &l in lasts {
                         for &f in firsts {
-                            adj[id[&lane(l, c)]].insert(id[&lane(f, c2)]);
+                            adj[rank[l] * nclass + ci].insert(rank[f] * nclass + cj);
                         }
                     }
                 }
             }
         }
         Cdg { channels, adj }
+    }
+}
+
+impl Cdg {
+    /// Build the full CDG from per-pair hop sequences (class-less escape
+    /// paths; each is replicated across every coherence class lane).
+    /// Convenience wrapper over [`CdgBuilder`] for callers that already
+    /// hold the paths.
+    pub fn build(paths: &[Vec<EscapeChannel>]) -> Cdg {
+        let mut b = CdgBuilder::new();
+        for path in paths {
+            b.add_path(path);
+        }
+        b.finish()
     }
 
     /// Number of vertices.
@@ -250,11 +315,11 @@ fn lane(hop: EscapeChannel, class: MessageClass) -> Channel {
 pub fn healthy_torus(cols: usize, rows: usize, dateline_vcs: bool) -> Cdg {
     let torus = Torus2D::new(cols, rows);
     let n = torus.node_count();
-    let mut paths = Vec::with_capacity(n * n);
+    let mut b = CdgBuilder::new();
     for src in 0..n {
         for dst in 0..n {
             if src != dst {
-                paths.push(escape_path(
+                b.add_path(&escape_path(
                     &torus,
                     NodeId::new(src),
                     NodeId::new(dst),
@@ -263,14 +328,16 @@ pub fn healthy_torus(cols: usize, rows: usize, dateline_vcs: bool) -> Cdg {
             }
         }
     }
-    Cdg::build(&paths)
+    b.finish()
 }
 
 /// The CDG of an arbitrary connected topology under up*/down* escape
 /// routing (the degraded-fabric fallback).
 pub fn degraded<T: Topology + ?Sized>(topo: &T) -> Result<Cdg, UpDownError> {
     let routes = UpDownRoutes::compute(topo)?;
-    Ok(Cdg::build(&routes.all_pairs(topo)))
+    let mut b = CdgBuilder::new();
+    routes.for_each_pair(topo, |path| b.add_path(path));
+    Ok(b.finish())
 }
 
 /// Every undirected link of `topo`, as `(low, high)` pairs in ascending
@@ -356,6 +423,92 @@ pub fn sweep_double_cuts(cols: usize, rows: usize) -> Result<SweepSummary, Strin
     Ok(summary)
 }
 
+/// The fixed seed every sampled sweep derives its draw from, committed so
+/// the sampled configuration set — and therefore the goldens in
+/// `results/verify.json` — is reproducible everywhere.
+pub const SAMPLE_SEED: u64 = 0x5b21_364c_d61a_0001;
+
+/// SplitMix64: a tiny, fully deterministic generator for the cut samplers
+/// (explicitly seeded — never ambient).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The first `sample` elements of a seeded Fisher–Yates shuffle of
+/// `0..pool` — a uniform, duplicate-free, deterministic index sample.
+fn sample_indices(pool: usize, sample: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..pool).collect();
+    let mut state = seed;
+    let take = sample.min(pool);
+    for i in 0..take {
+        let j = i + (splitmix64(&mut state) as usize) % (pool - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(take);
+    idx.sort_unstable(); // ascending, so sweep order is by link order
+    idx
+}
+
+/// Verify a deterministic seeded sample of `sample` single-link cuts of
+/// the `cols`×`rows` torus — the coverage strategy where the exhaustive
+/// sweep is infeasible (a 32×32 torus has 2048 links, each an up*/down*
+/// recompute over 1024 nodes).
+pub fn sweep_sampled_single_cuts(
+    cols: usize,
+    rows: usize,
+    sample: usize,
+    seed: u64,
+) -> Result<SweepSummary, String> {
+    let links = undirected_links(&Torus2D::new(cols, rows));
+    let mut summary = SweepSummary {
+        configs: 0,
+        disconnected: 0,
+        max_channels: 0,
+        max_edges: 0,
+    };
+    for i in sample_indices(links.len(), sample, seed) {
+        verify_cuts(cols, rows, &[links[i]], &mut summary)?;
+    }
+    Ok(summary)
+}
+
+/// Verify a deterministic seeded sample of `sample` double-link cuts of
+/// the `cols`×`rows` torus, drawn uniformly from every unordered link
+/// pair.
+pub fn sweep_sampled_double_cuts(
+    cols: usize,
+    rows: usize,
+    sample: usize,
+    seed: u64,
+) -> Result<SweepSummary, String> {
+    let links = undirected_links(&Torus2D::new(cols, rows));
+    let n = links.len();
+    let pairs = n * (n - 1) / 2;
+    let mut summary = SweepSummary {
+        configs: 0,
+        disconnected: 0,
+        max_channels: 0,
+        max_edges: 0,
+    };
+    for flat in sample_indices(pairs, sample, seed) {
+        // Unrank `flat` into the (i, j) pair with i < j, row-major over
+        // the strictly-upper-triangular pair matrix.
+        let mut i = 0usize;
+        let mut base = 0usize;
+        while base + (n - 1 - i) <= flat {
+            base += n - 1 - i;
+            i += 1;
+        }
+        let j = i + 1 + (flat - base);
+        verify_cuts(cols, rows, &[links[i], links[j]], &mut summary)?;
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,5 +571,90 @@ mod tests {
         let links = undirected_links(&t);
         assert_eq!(links.len(), t.link_count() / 2);
         assert!(links.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+    }
+
+    #[test]
+    fn streaming_builder_matches_the_collected_build() {
+        let torus = Torus2D::new(4, 4);
+        let mut paths = Vec::new();
+        for src in 0..16 {
+            for dst in 0..16 {
+                if src != dst {
+                    paths.push(escape_path(
+                        &torus,
+                        NodeId::new(src),
+                        NodeId::new(dst),
+                        true,
+                    ));
+                }
+            }
+        }
+        let collected = Cdg::build(&paths);
+        let streamed = healthy_torus(4, 4, true);
+        assert_eq!(collected.channels, streamed.channels);
+        assert_eq!(collected.adj, streamed.adj);
+    }
+
+    #[test]
+    fn channels_are_sorted_ascending_after_class_expansion() {
+        let cdg = healthy_torus(3, 3, true);
+        assert!(
+            cdg.channels.windows(2).all(|w| w[0] < w[1]),
+            "vertex ids must follow ascending Channel order"
+        );
+    }
+
+    #[test]
+    fn large_tori_certify_acyclic() {
+        // The 16×16 (256P) healthy escape network; 32×32 runs in the
+        // release-mode report binary (this doubles as its smoke test).
+        let r = healthy_torus(16, 16, true).verdict().expect_acyclic();
+        let vc0_floor = 256 * 4 * 5;
+        assert!(r.channels >= vc0_floor, "channels = {}", r.channels);
+    }
+
+    #[test]
+    fn sampled_indices_are_deterministic_unique_and_in_range() {
+        let a = sample_indices(100, 16, SAMPLE_SEED);
+        let b = sample_indices(100, 16, SAMPLE_SEED);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        let set: BTreeSet<usize> = a.iter().copied().collect();
+        assert_eq!(set.len(), 16, "no duplicates");
+        assert!(a.iter().all(|&i| i < 100));
+        // A different seed draws a different sample (overwhelmingly).
+        let c = sample_indices(100, 16, SAMPLE_SEED ^ 1);
+        assert_ne!(a, c);
+        // Oversampling clamps to the pool.
+        assert_eq!(sample_indices(5, 16, SAMPLE_SEED).len(), 5);
+    }
+
+    #[test]
+    fn sampled_single_cut_sweep_agrees_with_the_exhaustive_sweep() {
+        // Sampling the entire pool must reproduce the exhaustive result.
+        let all = sweep_single_cuts(4, 4).expect("acyclic");
+        let sampled = sweep_sampled_single_cuts(4, 4, 32, SAMPLE_SEED).expect("acyclic");
+        assert_eq!(all, sampled);
+        // A strict subsample stays acyclic and within the exhaustive maxima.
+        let sub = sweep_sampled_single_cuts(4, 4, 8, SAMPLE_SEED).expect("acyclic");
+        assert_eq!(sub.configs, 8);
+        assert!(sub.max_channels <= all.max_channels);
+        assert!(sub.max_edges <= all.max_edges);
+    }
+
+    #[test]
+    fn sampled_double_cuts_cover_distinct_pairs_on_the_8x8_torus() {
+        let s = sweep_sampled_double_cuts(8, 8, 12, SAMPLE_SEED).expect("acyclic");
+        assert_eq!(s.configs + s.disconnected, 12);
+        assert!(s.max_channels > 0);
+    }
+
+    #[test]
+    fn double_cut_pair_unranking_is_a_bijection() {
+        // Sampling every pair must agree with the exhaustive double sweep.
+        let all = sweep_double_cuts(3, 3).expect("acyclic");
+        let pairs = 18 * 17 / 2;
+        let sampled = sweep_sampled_double_cuts(3, 3, pairs, SAMPLE_SEED).expect("acyclic");
+        assert_eq!(all, sampled);
     }
 }

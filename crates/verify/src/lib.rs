@@ -1,30 +1,40 @@
 //! Static verification of the GS1280 reproduction.
 //!
-//! Three analyses, all wired into CI:
+//! Four analyses, all wired into CI:
 //!
 //! * [`mc`] + [`protocol`] — an explicit-state **model checker**: a generic
 //!   BFS kernel driven by a transition relation extracted from
 //!   `alphasim-coherence` (the real [`Directory`] runs inside every
 //!   transition). It exhaustively enumerates the reachable space of
 //!   (directory line state × in-flight transactions × timeout/NAK/poison
-//!   states) for 2–4 CPUs, checks safety (exactly one exclusive owner, no
-//!   stale sharer survives a write, poison never leaves a pending entry)
-//!   and progress (every reachable state has an enabled transition; retry
-//!   backoff saturates at its cap), and prints a minimal-length
-//!   counterexample trace on violation.
+//!   states), checks safety (exactly one exclusive owner, no stale sharer
+//!   survives a write, poison never leaves a pending entry) and progress
+//!   (every reachable state has an enabled transition; retry backoff
+//!   saturates at its cap), and prints a minimal-length counterexample
+//!   trace on violation. CPU-permutation **symmetry reduction** and an
+//!   ample-set **partial-order reduction** ([`mc::Reduction`]) shrink the
+//!   search enough to exhaust the fault-extended recovery protocol (link
+//!   failure/repair racing timeout–NAK–poison–retry) at 6–8 CPUs.
 //! * [`cdg`] — a **channel-dependency-graph analyzer** generalizing the
 //!   in-crate `escape_network_is_acyclic` spot check: the full CDG over
 //!   (directed link × dateline VC × coherence class), including the
 //!   cross-class edges of `MessageClass::may_generate`, verified acyclic on
-//!   the healthy torus *and* under every degraded topology the fault
-//!   campaigns produce (single and double link cuts, routed up*/down*),
-//!   reporting the offending cycle otherwise.
+//!   the healthy torus *and* under degraded topologies the fault campaigns
+//!   produce (single and double link cuts, routed up*/down*), reporting the
+//!   offending cycle otherwise. A streaming builder certifies P×Q tori up
+//!   to 32×32; deterministic seeded sampling keeps the degraded sweeps
+//!   tractable at scale.
+//! * [`ownership`] — a **partition lint** for the epoch-parallel engine:
+//!   statically proves workers touch only region-owned state, cross-region
+//!   effects flow only through the outbox, and the guide mutates workers
+//!   only through an `EpochControl` handle at barriers.
 //! * [`lint`] — a **determinism lint** over the workspace sources: flags
 //!   reproducibility hazards (hash-ordered containers, wall-clock reads,
 //!   ambient RNG, truncating casts in timing arithmetic) outside test code,
 //!   with `// lint-allow: <rule>` escape comments for the audited
-//!   exceptions. `cargo run -p verify --bin lint` exits non-zero on any
-//!   unexplained finding.
+//!   exceptions; an allow comment whose rule no longer fires anywhere on
+//!   its line is itself flagged as stale. `cargo run -p verify --bin lint`
+//!   exits non-zero on any unexplained finding.
 //!
 //! The `report` binary regenerates `results/verify.json` (state counts per
 //! configuration, CDG sweep summaries, lint totals) deterministically;
@@ -39,12 +49,14 @@
 pub mod cdg;
 pub mod lint;
 pub mod mc;
+pub mod ownership;
 pub mod protocol;
 pub mod report;
 
 pub use cdg::{Cdg, CdgVerdict, Channel, SweepSummary};
 pub use lint::{scan_workspace, Finding};
-pub use mc::{check, Counterexample, Exploration, Model, Verdict};
+pub use mc::{check, check_reduced, Counterexample, Exploration, Model, Reduction, Verdict};
+pub use ownership::{OwnershipFinding, OwnershipScan};
 pub use protocol::{backoff_saturates, Mutation, ProtocolModel};
 
 use std::path::{Path, PathBuf};

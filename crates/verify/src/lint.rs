@@ -28,7 +28,11 @@
 //!
 //! A finding on an audited, genuinely-legitimate line is silenced with a
 //! `// lint-allow: <rule>` comment on the same or the preceding line; the
-//! lint reports allowed findings separately so CI can see they stay rare.
+//! lint reports allowed findings separately (and per rule) so CI can see
+//! they stay rare. An allow that silences nothing — the hazard it excused
+//! was removed, or the named rule never fires on its line — is itself a
+//! **stale-allow** finding, so escape comments cannot outlive their
+//! justification.
 //! Lines inside a file's trailing `#[cfg(test)]` module (the repository's
 //! test-module convention) and comment lines are skipped.
 //!
@@ -179,11 +183,26 @@ pub struct ScanOutcome {
     pub findings: Vec<Finding>,
     /// Hazards silenced by a `lint-allow` comment.
     pub allowed: usize,
+    /// The silenced hazards broken down by rule name — committed to
+    /// `results/verify.json` so an allow added anywhere shows up in review.
+    pub allowed_by_rule: std::collections::BTreeMap<String, usize>,
     /// Source files scanned.
     pub files: usize,
 }
 
 const ALLOW_MARKER: &str = "lint-allow:";
+
+/// The rule name an allow comment on `line` names, if any. Doc prose that
+/// mentions the marker without a concrete rule (`lint-allow: <rule>`)
+/// parses to no name and is ignored.
+fn allow_rule_on(line: &str) -> Option<&str> {
+    let at = line.find(ALLOW_MARKER)?;
+    let rest = line[at + ALLOW_MARKER.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '-' && c != '_')
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
 
 /// Scan one file's source text. `file` is the path recorded in findings.
 pub fn scan_source(file: &Path, src: &str, rules: &[Rule]) -> ScanOutcome {
@@ -191,15 +210,24 @@ pub fn scan_source(file: &Path, src: &str, rules: &[Rule]) -> ScanOutcome {
         files: 1,
         ..ScanOutcome::default()
     };
+    // Allow comments seen so far: (line index, named rule, used?). An
+    // allow that silences nothing is itself a finding — stale escapes
+    // otherwise outlive the hazard they excused and rot silently.
+    let mut allows: Vec<(usize, String, bool)> = Vec::new();
     let mut prev_line = "";
+    let mut prev_idx = 0usize;
     for (i, line) in src.lines().enumerate() {
         let trimmed = line.trim_start();
         // Repository convention: the test module is the tail of the file.
         if trimmed.starts_with("#[cfg(test)]") {
             break;
         }
+        if let Some(rule) = allow_rule_on(line) {
+            allows.push((i, rule.to_string(), false));
+        }
         if trimmed.starts_with("//") {
             prev_line = line;
+            prev_idx = i;
             continue;
         }
         for rule in rules {
@@ -207,8 +235,23 @@ pub fn scan_source(file: &Path, src: &str, rules: &[Rule]) -> ScanOutcome {
                 continue;
             }
             let allow = format!("{} {}", ALLOW_MARKER, rule.name);
-            if line.contains(&allow) || prev_line.contains(&allow) {
+            let silenced_at = if line.contains(&allow) {
+                Some(i)
+            } else if prev_line.contains(&allow) {
+                Some(prev_idx)
+            } else {
+                None
+            };
+            if let Some(at) = silenced_at {
                 out.allowed += 1;
+                *out.allowed_by_rule
+                    .entry(rule.name.to_string())
+                    .or_default() += 1;
+                for a in &mut allows {
+                    if a.0 == at && a.1 == rule.name {
+                        a.2 = true;
+                    }
+                }
             } else {
                 out.findings.push(Finding {
                     file: file.to_path_buf(),
@@ -219,7 +262,23 @@ pub fn scan_source(file: &Path, src: &str, rules: &[Rule]) -> ScanOutcome {
             }
         }
         prev_line = line;
+        prev_idx = i;
     }
+    for (i, rule, used) in allows {
+        if !used {
+            out.findings.push(Finding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                rule: "stale-allow",
+                excerpt: format!(
+                    "`{ALLOW_MARKER} {rule}` silences nothing on this or the next \
+                     line; remove the comment"
+                ),
+            });
+        }
+    }
+    out.findings
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
 
@@ -275,6 +334,9 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<ScanOutcome> {
         let one = scan_source(rel, &src, &rules);
         total.findings.extend(one.findings);
         total.allowed += one.allowed;
+        for (rule, n) in one.allowed_by_rule {
+            *total.allowed_by_rule.entry(rule).or_default() += n;
+        }
         total.files += 1;
     }
     Ok(total)
@@ -304,8 +366,12 @@ mod tests {
         let prev = scan("// lint-allow: wall-clock\nlet t = Instant::now();\n");
         assert!(prev.findings.is_empty());
         assert_eq!(prev.allowed, 1);
+        // An allow naming the wrong rule silences nothing: the hazard is
+        // still reported, and the allow itself is stale.
         let wrong = scan("let t = Instant::now(); // lint-allow: ambient-rng\n");
-        assert_eq!(wrong.findings.len(), 1, "allow must name the right rule");
+        assert_eq!(wrong.findings.len(), 2, "{:?}", wrong.findings);
+        assert!(wrong.findings.iter().any(|f| f.rule == "wall-clock"));
+        assert!(wrong.findings.iter().any(|f| f.rule == "stale-allow"));
     }
 
     #[test]
@@ -313,6 +379,40 @@ mod tests {
         let src = "// a HashMap in a comment is fine\nfn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
         let out = scan(src);
         assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn a_stale_allow_is_itself_a_finding() {
+        // The hazard the allow excused is gone: the comment must go too.
+        let gone = scan("// lint-allow: wall-clock\nlet t = sim.now();\n");
+        assert_eq!(gone.findings.len(), 1, "{:?}", gone.findings);
+        assert_eq!(gone.findings[0].rule, "stale-allow");
+        assert_eq!(gone.findings[0].line, 1);
+        assert!(gone.findings[0].excerpt.contains("wall-clock"));
+        // A misspelled rule name can never silence anything.
+        let typo = scan("let t = Instant::now(); // lint-allow: wall-clok\n");
+        assert_eq!(typo.findings.len(), 2, "{:?}", typo.findings);
+        assert!(typo.findings.iter().any(|f| f.rule == "wall-clock"));
+        assert!(typo.findings.iter().any(|f| f.rule == "stale-allow"));
+        // A live allow is not stale.
+        let live = scan("let t = Instant::now(); // lint-allow: wall-clock\n");
+        assert!(live.findings.is_empty(), "{:?}", live.findings);
+        // Doc prose naming the marker without a rule is ignored.
+        let prose = scan("fn f() {} // silence with `lint-allow: <rule>`\n");
+        assert!(prose.findings.is_empty(), "{:?}", prose.findings);
+    }
+
+    #[test]
+    fn allowed_findings_are_counted_per_rule() {
+        let out = scan(
+            "let t = Instant::now(); // lint-allow: wall-clock\n\
+             let u = Instant::now(); // lint-allow: wall-clock\n\
+             static N: AtomicU64 = AtomicU64::new(0); // lint-allow: shared-mutable-state\n",
+        );
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.allowed, 3);
+        assert_eq!(out.allowed_by_rule.get("wall-clock"), Some(&2));
+        assert_eq!(out.allowed_by_rule.get("shared-mutable-state"), Some(&1));
     }
 
     #[test]

@@ -11,6 +11,26 @@
 //! Because the search is breadth-first, the counterexample reconstructed
 //! from the predecessor table on a violation is a *minimal-length* trace:
 //! no shorter action sequence reaches any violating state.
+//!
+//! [`check_reduced`] layers two classical state-space reductions on the
+//! same search, for models that opt in via [`ReducibleModel`]:
+//!
+//! * **Symmetry reduction** — every discovered state is replaced by the
+//!   canonical representative of its orbit under the model's symmetry
+//!   group before dedup, so the search explores the quotient graph. With
+//!   an exact canonicalizer the quotient has one state per orbit, which
+//!   for a protocol symmetric in `n` interchangeable CPUs shrinks the
+//!   space by up to `n!`.
+//! * **Partial-order (ample-set) reduction** — at states where the model
+//!   can prove a subset of the enabled actions is *ample* (independent of
+//!   every other enabled action, invisible to the invariants, and unable
+//!   to close a cycle by itself), only that subset is expanded.
+//!
+//! Both reductions preserve every safety verdict: a violation is reachable
+//! in the reduced graph iff one is reachable in the full graph. Symmetry
+//! alone also preserves minimal counterexample *length* (quotient paths
+//! lift to full-graph paths of equal length); ample sets may lengthen a
+//! counterexample because they commit to an interleaving.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Debug;
@@ -41,6 +61,59 @@ pub trait Model {
     fn is_terminal(&self, _state: &Self::State) -> bool {
         false
     }
+}
+
+/// A model whose state space the checker may soundly shrink.
+///
+/// The two hooks encode proof obligations the *model* discharges; the
+/// checker trusts them. Both are exercised against the unreduced search by
+/// the reduction-soundness proptest in `verify/tests/proptests.rs`.
+pub trait ReducibleModel: Model {
+    /// The canonical representative of `state`'s symmetry orbit.
+    ///
+    /// Obligations: the map must be idempotent, stay within the orbit of
+    /// `state` under a group of transition-preserving permutations, and
+    /// every invariant (including terminality) must be orbit-invariant —
+    /// `invariants(s)` and `invariants(canonical(s))` agree on truth.
+    fn canonical(&self, state: &Self::State) -> Self::State;
+
+    /// A sound ample subset of `actions` at `state`, or `None` to expand
+    /// every action.
+    ///
+    /// Obligations on a returned subset: non-empty; each member commutes
+    /// with (and stays enabled under) every non-member enabled action;
+    /// executing a member never changes the truth of any invariant
+    /// (invisibility); and no cycle of the reduced graph consists solely
+    /// of ample-chosen transitions (guaranteed here by choosing actions
+    /// that strictly decrease a well-founded measure).
+    fn ample(&self, state: &Self::State, actions: &[Self::Action]) -> Option<Vec<Self::Action>>;
+}
+
+/// Which reductions [`check_reduced`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reduction {
+    /// Canonicalize states before dedup (orbit quotient).
+    pub symmetry: bool,
+    /// Expand only ample action subsets where the model offers one.
+    pub por: bool,
+}
+
+impl Reduction {
+    /// No reduction: `check_reduced` behaves exactly like [`check`].
+    pub const NONE: Reduction = Reduction {
+        symmetry: false,
+        por: false,
+    };
+    /// Symmetry quotient only (preserves minimal trace length).
+    pub const SYMMETRY: Reduction = Reduction {
+        symmetry: true,
+        por: false,
+    };
+    /// Symmetry quotient plus ample-set partial-order reduction.
+    pub const FULL: Reduction = Reduction {
+        symmetry: true,
+        por: true,
+    };
 }
 
 /// Aggregate counts from an exhaustive exploration.
@@ -118,7 +191,103 @@ impl<M: Model> Verdict<M> {
 /// caller sized the configuration wrongly, and a truncated exploration must
 /// never masquerade as a proof.
 pub fn check<M: Model>(model: &M, max_states: usize) -> Verdict<M> {
-    let initial = model.initial();
+    explore(model, max_states, &|s| s.clone(), &|_, acts| acts)
+}
+
+/// Explore `model` under the reductions selected by `red`.
+///
+/// With [`Reduction::NONE`] this is exactly [`check`]. With symmetry the
+/// search runs over canonical orbit representatives, so the reported
+/// counterexample is a run of the *quotient* system: each recorded state
+/// is the canonical form of the state the action produced. Quotient runs
+/// lift to concrete runs of equal length by composing the orbit
+/// permutations, so the trace is still a faithful minimal witness.
+///
+/// # Panics
+///
+/// Panics if more than `max_states` distinct (canonical) states are
+/// discovered.
+pub fn check_reduced<M: ReducibleModel>(
+    model: &M,
+    max_states: usize,
+    red: Reduction,
+) -> Verdict<M> {
+    let canon = |s: &M::State| {
+        if red.symmetry {
+            model.canonical(s)
+        } else {
+            s.clone()
+        }
+    };
+    let select = |s: &M::State, acts: Vec<M::Action>| {
+        if red.por {
+            match model.ample(s, &acts) {
+                Some(ample) => {
+                    debug_assert!(!ample.is_empty(), "ample sets must be non-empty");
+                    ample
+                }
+                None => acts,
+            }
+        } else {
+            acts
+        }
+    };
+    explore(model, max_states, &canon, &select)
+}
+
+/// Every distinct state an unreduced search visits, in discovery order, or
+/// the violated invariant if the model is unsafe. Used by the
+/// reduction-soundness proptest to compare the canonical quotient of the
+/// full state set against the reduced search.
+///
+/// # Errors
+///
+/// Returns the violated-invariant (or deadlock) description when the model
+/// is unsafe; the states discovered up to that point are discarded.
+///
+/// # Panics
+///
+/// Panics if more than `max_states` distinct states are discovered.
+pub fn reachable<M: Model>(model: &M, max_states: usize) -> Result<Vec<M::State>, String> {
+    let mut found = Vec::new();
+    match explore_with(
+        model,
+        max_states,
+        &|s| s.clone(),
+        &|_, acts| acts,
+        &mut |s: &M::State| found.push(s.clone()),
+    ) {
+        Verdict::Pass(_) => Ok(found),
+        Verdict::Violated(cex) => Err(cex.invariant),
+    }
+}
+
+/// State-canonicalization hook threaded through the search (identity when
+/// symmetry reduction is off).
+type CanonFn<'a, M> = &'a dyn Fn(&<M as Model>::State) -> <M as Model>::State;
+
+/// Action-selection hook threaded through the search (pass-through when
+/// partial-order reduction is off).
+type SelectFn<'a, M> =
+    &'a dyn Fn(&<M as Model>::State, Vec<<M as Model>::Action>) -> Vec<<M as Model>::Action>;
+
+fn explore<M: Model>(
+    model: &M,
+    max_states: usize,
+    canon: CanonFn<'_, M>,
+    select: SelectFn<'_, M>,
+) -> Verdict<M> {
+    explore_with(model, max_states, canon, select, &mut |_| {})
+}
+
+fn explore_with<M: Model>(
+    model: &M,
+    max_states: usize,
+    canon: CanonFn<'_, M>,
+    select: SelectFn<'_, M>,
+    on_discover: &mut dyn FnMut(&M::State),
+) -> Verdict<M> {
+    let initial = canon(&model.initial());
     let mut states: Vec<M::State> = vec![initial.clone()];
     let mut index: BTreeMap<M::State, usize> = BTreeMap::from([(initial.clone(), 0)]);
     // parent[i] = (predecessor index, action that produced state i).
@@ -145,12 +314,13 @@ pub fn check<M: Model>(model: &M, max_states: usize) -> Verdict<M> {
         }
     };
 
+    on_discover(&initial);
     if let Err(why) = model.invariants(&initial) {
         return Verdict::Violated(trace(&parent, &states, 0, why));
     }
 
     while let Some(at) = queue.pop_front() {
-        let actions = model.actions(&states[at]);
+        let actions = select(&states[at], model.actions(&states[at]));
         if actions.is_empty() && !model.is_terminal(&states[at]) {
             return Verdict::Violated(trace(
                 &parent,
@@ -161,7 +331,7 @@ pub fn check<M: Model>(model: &M, max_states: usize) -> Verdict<M> {
         }
         for action in actions {
             transitions += 1;
-            let next = model.apply(&states[at], &action);
+            let next = canon(&model.apply(&states[at], &action));
             if let Some(&_known) = index.get(&next) {
                 continue;
             }
@@ -171,6 +341,7 @@ pub fn check<M: Model>(model: &M, max_states: usize) -> Verdict<M> {
                 "state space exceeded the {max_states}-state bound"
             );
             index.insert(next.clone(), id);
+            on_discover(&next);
             states.push(next);
             parent.push(Some((at, action)));
             depth.push(depth[at] + 1);
@@ -279,5 +450,134 @@ mod tests {
             stuck_at: None,
         };
         let _ = check(&m, 10);
+    }
+
+    /// `n` interchangeable tokens, each counting 0..`cap`; terminal when
+    /// all are saturated. Fully symmetric under token permutation, and
+    /// increments commute, so both reductions apply.
+    struct Tokens {
+        n: usize,
+        cap: u8,
+        violate_at: Option<u8>,
+    }
+
+    impl Model for Tokens {
+        type State = Vec<u8>;
+        type Action = usize;
+
+        fn initial(&self) -> Vec<u8> {
+            vec![0; self.n]
+        }
+
+        fn actions(&self, s: &Vec<u8>) -> Vec<usize> {
+            (0..self.n).filter(|&i| s[i] + 1 < self.cap).collect()
+        }
+
+        fn apply(&self, s: &Vec<u8>, a: &usize) -> Vec<u8> {
+            let mut next = s.clone();
+            next[*a] += 1;
+            next
+        }
+
+        fn invariants(&self, s: &Vec<u8>) -> Result<(), String> {
+            match self.violate_at {
+                Some(v) if s.contains(&v) => Err(format!("a token reached {v}")),
+                _ => Ok(()),
+            }
+        }
+
+        fn is_terminal(&self, s: &Vec<u8>) -> bool {
+            s.iter().all(|&t| t + 1 == self.cap)
+        }
+    }
+
+    impl ReducibleModel for Tokens {
+        fn canonical(&self, s: &Vec<u8>) -> Vec<u8> {
+            let mut c = s.clone();
+            c.sort_unstable();
+            c
+        }
+
+        fn ample(&self, _s: &Vec<u8>, actions: &[usize]) -> Option<Vec<usize>> {
+            // Increments commute, are invisible when no violation value is
+            // configured, and strictly increase the token sum (no
+            // ample-only cycles): the smallest enabled one is ample.
+            if self.violate_at.is_some() {
+                return None;
+            }
+            actions.first().map(|&a| vec![a])
+        }
+    }
+
+    #[test]
+    fn reduction_none_matches_the_plain_search_exactly() {
+        let m = Tokens {
+            n: 3,
+            cap: 3,
+            violate_at: None,
+        };
+        let plain = check(&m, 1000).expect_pass();
+        let none = check_reduced(&m, 1000, Reduction::NONE).expect_pass();
+        assert_eq!(plain, none);
+        assert_eq!(plain.states, 27, "3 tokens x 3 values");
+    }
+
+    #[test]
+    fn symmetry_explores_one_state_per_orbit() {
+        let m = Tokens {
+            n: 3,
+            cap: 3,
+            violate_at: None,
+        };
+        let sym = check_reduced(&m, 1000, Reduction::SYMMETRY).expect_pass();
+        // Multisets of 3 values drawn from {0,1,2}: C(5,2) = 10 orbits.
+        assert_eq!(sym.states, 10);
+    }
+
+    #[test]
+    fn ample_sets_collapse_commuting_interleavings() {
+        let m = Tokens {
+            n: 3,
+            cap: 3,
+            violate_at: None,
+        };
+        let full = check_reduced(&m, 1000, Reduction::FULL).expect_pass();
+        // One committed interleaving: the 6-increment chain to saturation.
+        assert_eq!(full.states, 7);
+        assert_eq!(full.depth, 6);
+    }
+
+    #[test]
+    fn symmetry_preserves_verdict_and_minimal_trace_length() {
+        let m = Tokens {
+            n: 3,
+            cap: 4,
+            violate_at: Some(2),
+        };
+        let plain = check(&m, 1000).violation().expect("unsafe");
+        let sym = check_reduced(&m, 1000, Reduction::SYMMETRY)
+            .violation()
+            .expect("unsafe");
+        assert_eq!(plain.invariant, sym.invariant);
+        assert_eq!(plain.steps.len(), sym.steps.len());
+        assert_eq!(sym.steps.len(), 2, "two increments reach the bad value");
+    }
+
+    #[test]
+    fn reachable_returns_every_state_or_the_violated_invariant() {
+        let safe = Tokens {
+            n: 2,
+            cap: 3,
+            violate_at: None,
+        };
+        let all = reachable(&safe, 1000).expect("safe model");
+        assert_eq!(all.len(), 9);
+        let unsafe_m = Tokens {
+            n: 2,
+            cap: 3,
+            violate_at: Some(1),
+        };
+        let why = reachable(&unsafe_m, 1000).expect_err("unsafe model");
+        assert!(why.contains("reached 1"), "{why}");
     }
 }

@@ -33,10 +33,10 @@ use std::collections::BTreeSet;
 use alphasim_coherence::{AccessKind, Directory, LineState, RetryPolicy};
 use alphasim_net::MessageClass;
 
-use crate::mc::Model;
+use crate::mc::{Model, ReducibleModel};
 
 /// Upper bound on modeled CPUs (the state arrays are fixed-size).
-pub const MAX_CPUS: usize = 4;
+pub const MAX_CPUS: usize = 8;
 
 /// The home node of the modeled line.
 const HOME: usize = 0;
@@ -149,6 +149,12 @@ pub struct ProtoState {
     pub ops: [CpuOp; MAX_CPUS],
     /// Pending-table membership bitmask (mirrors `PendingSet` keys).
     pub pending: u8,
+    /// Whether the path to the home is up. Always `true` unless the model
+    /// was built with [`ProtocolModel::recovery`]; while down, no request
+    /// completes (`Deliver` is disabled) and outstanding attempts keep
+    /// striking out through the timeout/retry/poison machinery — the
+    /// static mirror of the fault campaign's link cuts.
+    pub link_ok: bool,
 }
 
 /// One enabled transition.
@@ -183,6 +189,11 @@ pub enum ProtoAction {
         /// Evicting CPU.
         cpu: u8,
     },
+    /// The path to the home goes down (recovery models only): deliveries
+    /// stop, timeouts keep firing.
+    LinkFail,
+    /// The path to the home comes back up (recovery models only).
+    LinkRepair,
 }
 
 /// A protocol bug seeded into the leg interpretation, used by tests to
@@ -199,6 +210,14 @@ pub enum Mutation {
     StaleOwnerAfterForward,
     /// Poisoning a transaction forgets to remove its pending-table entry.
     PoisonLeaksPendingEntry,
+    /// The NAK acknowledgement handler re-issues the abandoned operation
+    /// instead of retiring it — the transaction comes back from the dead
+    /// without re-inserting its pending entry.
+    RetryAfterPoison,
+    /// Link repair "helpfully" fast-completes a write that was stranded
+    /// in flight, granting Exclusive without running the directory — the
+    /// repair path racing a pending invalidation.
+    RepairRacesInvalidation,
 }
 
 impl Mutation {
@@ -209,14 +228,24 @@ impl Mutation {
             Mutation::SkipInvalidations => "skip-invalidations",
             Mutation::StaleOwnerAfterForward => "stale-owner-after-forward",
             Mutation::PoisonLeaksPendingEntry => "poison-leaks-pending-entry",
+            Mutation::RetryAfterPoison => "retry-after-poison",
+            Mutation::RepairRacesInvalidation => "repair-races-invalidation",
         }
     }
 
-    /// Every seeded bug.
+    /// Every seeded bug of the healthy-path protocol.
     pub const SEEDED: [Mutation; 3] = [
         Mutation::SkipInvalidations,
         Mutation::StaleOwnerAfterForward,
         Mutation::PoisonLeaksPendingEntry,
+    ];
+
+    /// Seeded bugs on the recovery path (checked with the fault-extended
+    /// model — [`RepairRacesInvalidation`](Mutation::RepairRacesInvalidation)
+    /// needs a link fault to arm).
+    pub const RECOVERY_SEEDED: [Mutation; 2] = [
+        Mutation::RetryAfterPoison,
+        Mutation::RepairRacesInvalidation,
     ];
 }
 
@@ -230,20 +259,39 @@ pub struct ProtocolModel {
     pub max_retries: u8,
     /// Seeded bug, [`Mutation::None`] for the shipped protocol.
     pub mutation: Mutation,
+    /// Whether the link-fault dimension (LinkFail/LinkRepair) is enabled;
+    /// `false` checks the healthy protocol only.
+    pub faults: bool,
 }
 
 impl ProtocolModel {
-    /// The shipped protocol with `cpus` CPUs and `max_retries` retries.
+    /// The shipped healthy-path protocol with `cpus` CPUs and
+    /// `max_retries` retries.
     ///
     /// # Panics
     ///
     /// Panics unless `2 <= cpus <= MAX_CPUS`.
     pub fn new(cpus: usize, max_retries: u8) -> Self {
-        assert!((2..=MAX_CPUS).contains(&cpus), "model supports 2..=4 CPUs");
+        assert!((2..=MAX_CPUS).contains(&cpus), "model supports 2..=8 CPUs");
         ProtocolModel {
             cpus,
             max_retries,
             mutation: Mutation::None,
+            faults: false,
+        }
+    }
+
+    /// The fault-extended recovery protocol: the healthy model plus the
+    /// link-fault dimension, so every timeout-strike / poison / backoff /
+    /// repair interleaving is explored.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= cpus <= MAX_CPUS`.
+    pub fn recovery(cpus: usize, max_retries: u8) -> Self {
+        ProtocolModel {
+            faults: true,
+            ..ProtocolModel::new(cpus, max_retries)
         }
     }
 
@@ -252,6 +300,14 @@ impl ProtocolModel {
         ProtocolModel {
             mutation,
             ..ProtocolModel::new(cpus, max_retries)
+        }
+    }
+
+    /// The fault-extended configuration with a seeded recovery-path bug.
+    pub fn recovery_mutated(cpus: usize, max_retries: u8, mutation: Mutation) -> Self {
+        ProtocolModel {
+            mutation,
+            ..ProtocolModel::recovery(cpus, max_retries)
         }
     }
 
@@ -310,6 +366,7 @@ impl Model for ProtocolModel {
             caches: [Right::Invalid; MAX_CPUS],
             ops: [CpuOp::Idle; MAX_CPUS],
             pending: 0,
+            link_ok: true,
         }
     }
 
@@ -332,11 +389,22 @@ impl Model for ProtocolModel {
                     }
                 }
                 CpuOp::InFlight { .. } => {
-                    out.push(ProtoAction::Deliver { cpu: c });
+                    // A request only completes while the path is up; a
+                    // downed link leaves timeout/retry as the sole moves.
+                    if s.link_ok {
+                        out.push(ProtoAction::Deliver { cpu: c });
+                    }
                     out.push(ProtoAction::Timeout { cpu: c });
                 }
                 CpuOp::Poisoned { .. } => out.push(ProtoAction::AckPoison { cpu: c }),
             }
+        }
+        if self.faults {
+            out.push(if s.link_ok {
+                ProtoAction::LinkFail
+            } else {
+                ProtoAction::LinkRepair
+            });
         }
         out
     }
@@ -377,7 +445,15 @@ impl Model for ProtocolModel {
             }
             ProtoAction::AckPoison { cpu } => {
                 let mut next = s.clone();
-                next.ops[cpu as usize] = CpuOp::Idle;
+                match s.ops[cpu as usize] {
+                    CpuOp::Poisoned { kind } if self.mutation == Mutation::RetryAfterPoison => {
+                        // The seeded bug: the acknowledgement handler
+                        // resurrects the abandoned operation, but the
+                        // pending entry was already reaped at poison time.
+                        next.ops[cpu as usize] = CpuOp::InFlight { kind, attempts: 1 };
+                    }
+                    _ => next.ops[cpu as usize] = CpuOp::Idle,
+                }
                 next
             }
             ProtoAction::Evict { cpu } => {
@@ -387,6 +463,33 @@ impl Model for ProtocolModel {
                 let mut next = s.clone();
                 next.caches[cpu as usize] = Right::Invalid;
                 next.dir = DirLine::from_line_state(&dir.state(0));
+                next
+            }
+            ProtoAction::LinkFail => {
+                let mut next = s.clone();
+                next.link_ok = false;
+                next
+            }
+            ProtoAction::LinkRepair => {
+                let mut next = s.clone();
+                next.link_ok = true;
+                if self.mutation == Mutation::RepairRacesInvalidation {
+                    // The seeded bug: repair fast-completes the lowest
+                    // stranded write without consulting the directory.
+                    if let Some(w) = (0..self.cpus).find(|&i| {
+                        matches!(
+                            s.ops[i],
+                            CpuOp::InFlight {
+                                kind: OpKind::Write,
+                                ..
+                            }
+                        )
+                    }) {
+                        next.caches[w] = Right::Exclusive;
+                        next.ops[w] = CpuOp::Idle;
+                        next.pending &= !(1u8 << w);
+                    }
+                }
                 next
             }
         }
@@ -478,6 +581,87 @@ impl Model for ProtocolModel {
     }
 }
 
+impl ReducibleModel for ProtocolModel {
+    /// Canonical orbit representative under CPU permutation.
+    ///
+    /// Every component of the state decomposes per CPU — believed rights,
+    /// transaction status, the pending bit, and the CPU's bit/index in the
+    /// directory view — and the full symmetric group on `0..cpus` acts
+    /// coordinate-wise (the real `Directory` legs are interpreted by
+    /// *role*, never by CPU identity, and `HOME` is a line-address
+    /// attribute, not a privileged requester). The exact orbit canonical
+    /// form is therefore simply the per-CPU tuples in sorted order: no
+    /// permutation enumeration, `O(n log n)` per state.
+    fn canonical(&self, s: &ProtoState) -> ProtoState {
+        let (sharer_mask, owner) = match s.dir {
+            DirLine::Uncached => (0u8, None),
+            DirLine::Shared(mask) => (mask, None),
+            DirLine::Exclusive(o) => (0u8, Some(o as usize)),
+        };
+        let mut keys: Vec<(Right, CpuOp, bool, bool, bool)> = (0..self.cpus)
+            .map(|i| {
+                (
+                    s.caches[i],
+                    s.ops[i],
+                    s.pending & (1 << i) != 0,
+                    sharer_mask & (1 << i) != 0,
+                    owner == Some(i),
+                )
+            })
+            .collect();
+        keys.sort_unstable();
+        let mut next = s.clone();
+        let mut mask = 0u8;
+        let mut new_owner = None;
+        for (i, &(right, op, pend, shares, owns)) in keys.iter().enumerate() {
+            next.caches[i] = right;
+            next.ops[i] = op;
+            if pend {
+                next.pending |= 1 << i;
+            } else {
+                next.pending &= !(1u8 << i);
+            }
+            if shares {
+                mask |= 1 << i;
+            }
+            if owns {
+                new_owner = Some(i as u8);
+            }
+        }
+        next.dir = match s.dir {
+            DirLine::Uncached => DirLine::Uncached,
+            DirLine::Shared(_) => DirLine::Shared(mask),
+            DirLine::Exclusive(_) => {
+                DirLine::Exclusive(new_owner.expect("owner survives the permutation"))
+            }
+        };
+        next
+    }
+
+    /// Singleton ample set: acknowledge the lowest-numbered poisoned CPU.
+    ///
+    /// `AckPoison { cpu }` qualifies because (C1) it reads and writes only
+    /// `ops[cpu]`, which no other CPU's action touches (deliver legs act
+    /// on caches, repair on in-flight writes), so it commutes with and
+    /// stays enabled under every other enabled action; (C2) it is
+    /// invisible — `Poisoned` and `Idle` with the same pending bit agree
+    /// on every invariant's truth; and (C3) it strictly decreases the
+    /// number of poisoned CPUs, a measure every other action preserves or
+    /// grows, so no cycle consists of ample transitions only (this
+    /// survives the symmetry quotient because the measure is
+    /// permutation-invariant). Under the `RetryAfterPoison` mutation the
+    /// acknowledgement is neither invisible nor decreasing, so the model
+    /// declines to offer an ample set and the checker expands everything.
+    fn ample(&self, s: &ProtoState, _actions: &[ProtoAction]) -> Option<Vec<ProtoAction>> {
+        if self.mutation == Mutation::RetryAfterPoison {
+            return None;
+        }
+        (0..self.cpus)
+            .find(|&i| matches!(s.ops[i], CpuOp::Poisoned { .. }))
+            .map(|i| vec![ProtoAction::AckPoison { cpu: i as u8 }])
+    }
+}
+
 /// Check that [`RetryPolicy::backoff`] is monotone non-decreasing and
 /// saturates at `backoff_cap`, returning the first attempt pinned at the
 /// cap. This is the liveness half the model checker abstracts away: retry
@@ -517,7 +701,7 @@ pub fn backoff_saturates(policy: &RetryPolicy) -> Result<u32, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mc::{check, Verdict};
+    use crate::mc::{check, check_reduced, Reduction, Verdict};
 
     /// The shipped protocol is clean for every supported CPU count. The
     /// 3-CPU bound is the acceptance configuration; 16k states bounds it
@@ -585,6 +769,103 @@ mod tests {
         assert_eq!(cex.steps.len(), 1 + 2, "{}", cex.describe());
         let text = cex.describe();
         assert!(text.contains("Timeout"), "{text}");
+    }
+
+    #[test]
+    fn recovery_protocol_is_clean_and_reductions_shrink_it() {
+        for (cpus, bound) in [(2usize, 20_000usize), (3, 120_000)] {
+            let m = ProtocolModel::recovery(cpus, 2);
+            let plain = check(&m, bound).expect_pass();
+            let sym = check_reduced(&m, bound, Reduction::SYMMETRY).expect_pass();
+            let full = check_reduced(&m, bound, Reduction::FULL).expect_pass();
+            assert!(
+                sym.states < plain.states,
+                "{cpus} cpus: symmetry {} !< plain {}",
+                sym.states,
+                plain.states
+            );
+            assert!(
+                full.states <= sym.states,
+                "{cpus} cpus: por {} > symmetry {}",
+                full.states,
+                sym.states
+            );
+            // Symmetry alone preserves BFS diameter (orbit paths lift).
+            assert_eq!(plain.depth, sym.depth, "{cpus} cpus");
+        }
+    }
+
+    #[test]
+    fn healthy_state_counts_are_untouched_by_the_fault_extension() {
+        // The link dimension only exists in recovery models: the healthy
+        // 2-CPU count must stay at its committed golden.
+        let e = check(&ProtocolModel::new(2, 2), 4_000).expect_pass();
+        assert_eq!(e.states, 486);
+    }
+
+    #[test]
+    fn retry_after_poison_is_caught_with_a_minimal_trace() {
+        let m = ProtocolModel::recovery_mutated(2, 1, Mutation::RetryAfterPoison);
+        let cex = check(&m, 200_000).violation().expect("must be caught");
+        assert!(
+            cex.invariant.contains("in flight without a pending entry"),
+            "{}",
+            cex.invariant
+        );
+        // Issue, two timeout strikes through the poison threshold, then
+        // the buggy acknowledgement resurrects the operation.
+        assert_eq!(cex.steps.len(), 4, "{}", cex.describe());
+        assert!(cex.describe().contains("AckPoison"), "{}", cex.describe());
+    }
+
+    #[test]
+    fn repair_racing_a_stranded_write_is_caught_with_a_minimal_trace() {
+        let m = ProtocolModel::recovery_mutated(2, 1, Mutation::RepairRacesInvalidation);
+        let cex = check(&m, 200_000).violation().expect("must be caught");
+        // The fast-completed write leaves the directory unaware of the
+        // new Exclusive copy.
+        assert!(
+            cex.invariant
+                .contains("holds Exclusive but the line is Uncached")
+                || cex.invariant.contains("stale"),
+            "{}",
+            cex.invariant
+        );
+        // Issue the write, cut the link, repair it: three steps.
+        assert_eq!(cex.steps.len(), 3, "{}", cex.describe());
+        assert!(cex.describe().contains("LinkRepair"), "{}", cex.describe());
+    }
+
+    #[test]
+    fn every_mutation_is_still_caught_under_full_reduction() {
+        for mutation in Mutation::SEEDED
+            .into_iter()
+            .chain(Mutation::RECOVERY_SEEDED)
+        {
+            let m = ProtocolModel::recovery_mutated(2, 1, mutation);
+            let reduced = check_reduced(&m, 200_000, Reduction::FULL)
+                .violation()
+                .unwrap_or_else(|| panic!("{} must be caught under reduction", mutation.id()));
+            let plain = check(&m, 200_000).violation().expect("caught unreduced");
+            assert_eq!(
+                plain.steps.len(),
+                reduced.steps.len(),
+                "{}: reduction lengthened the minimal trace",
+                mutation.id()
+            );
+        }
+    }
+
+    /// The acceptance configuration: the fault-extended recovery protocol
+    /// exhausted at 6 CPUs under symmetry+POR. Ignored in the debug suite
+    /// (release-mode seconds, debug minutes); the release `report` binary
+    /// regenerates and gates the same run in CI.
+    #[test]
+    #[ignore = "release-scale: exercised by the report binary in CI"]
+    fn recovery_protocol_exhausts_at_6_cpus_with_full_reduction() {
+        let e =
+            check_reduced(&ProtocolModel::recovery(6, 1), 2_000_000, Reduction::FULL).expect_pass();
+        assert!(e.states > 10_000, "unexpectedly small quotient: {e:?}");
     }
 
     #[test]

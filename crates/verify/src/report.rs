@@ -9,11 +9,13 @@
 //! states shows up as a diff here even when every invariant still holds.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::Path;
 
 use crate::cdg::{self, CdgReport, CdgVerdict, SweepSummary};
 use crate::lint;
-use crate::mc::{check, Exploration};
+use crate::mc::{check, check_reduced, Exploration, Reduction};
+use crate::ownership;
 use crate::protocol::{backoff_saturates, Mutation, ProtocolModel};
 use alphasim_coherence::RetryPolicy;
 
@@ -39,6 +41,24 @@ pub struct MutationCatch {
     pub trace_len: usize,
 }
 
+/// One row of the reduction table: the fault-extended recovery protocol
+/// at one configuration, explored plain (when affordable), under symmetry
+/// alone, and under symmetry + partial-order reduction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionRow {
+    /// CPUs sharing the line.
+    pub cpus: usize,
+    /// Retries before poison.
+    pub max_retries: u8,
+    /// Unreduced exploration; omitted above 4 CPUs, where the plain space
+    /// stops being regenerate-in-seconds material.
+    pub plain: Option<Exploration>,
+    /// CPU-permutation symmetry only (depth equals the plain depth).
+    pub symmetry: Exploration,
+    /// Symmetry + ample-set partial-order reduction.
+    pub full: Exploration,
+}
+
 /// Model-checker section of the report.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct McSection {
@@ -46,9 +66,27 @@ pub struct McSection {
     pub configs: Vec<McConfig>,
     /// Every seeded mutation, each caught with a minimal trace.
     pub mutations_caught: Vec<MutationCatch>,
+    /// The recovery-path mutations, caught under full reduction on the
+    /// fault-extended model.
+    pub recovery_mutations_caught: Vec<MutationCatch>,
+    /// The fault-extended recovery protocol exhausted at scale, showing
+    /// what each reduction buys.
+    pub recovery_reduction: Vec<ReductionRow>,
     /// First retry attempt whose backoff sits at the cap (liveness: the
     /// retry cadence is bounded).
     pub backoff_cap_attempt: u32,
+}
+
+/// A deterministically sampled degraded sweep, with the sampling
+/// parameters pinned so the artifact regenerates byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampledSweep {
+    /// Cut configurations drawn from the pool.
+    pub sample: usize,
+    /// The committed sampling seed ([`cdg::SAMPLE_SEED`]).
+    pub seed: u64,
+    /// Verification outcome over the sample.
+    pub summary: SweepSummary,
 }
 
 /// CDG-analyzer section of the report.
@@ -56,6 +94,10 @@ pub struct McSection {
 pub struct CdgSection {
     /// Full CDG of the healthy 8×8 torus (the GS1280 M64), acyclic.
     pub healthy_8x8: CdgReport,
+    /// The healthy 16×16 torus (a 256-CPU P×Q configuration), acyclic.
+    pub healthy_16x16: CdgReport,
+    /// The healthy 32×32 torus (the 1024-CPU ceiling), acyclic.
+    pub healthy_32x32: CdgReport,
     /// Cycle length found when the dateline VCs are removed — the analyzer
     /// demonstrably detects the deadlock the VCs exist to break.
     pub single_vc_8x8_cycle_len: usize,
@@ -64,16 +106,53 @@ pub struct CdgSection {
     pub single_cuts_8x8: SweepSummary,
     /// Every double-link-cut degradation of the 4×4 torus.
     pub double_cuts_4x4: SweepSummary,
+    /// Seeded sample of single-link cuts on the 16×16 torus.
+    pub sampled_single_cuts_16x16: SampledSweep,
+    /// Seeded sample of single-link cuts on the 32×32 torus.
+    pub sampled_single_cuts_32x32: SampledSweep,
+    /// Seeded sample of double-link cuts on the 8×8 torus (the exhaustive
+    /// pool is 8128 pairs; the sample keeps regeneration fast).
+    pub sampled_double_cuts_8x8: SampledSweep,
 }
 
 /// Determinism-lint section of the report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LintSection {
     /// Source files scanned.
     pub files: usize,
     /// Findings silenced by audited `lint-allow` comments.
     pub allowed: usize,
+    /// The silenced findings broken down by rule, so a new escape comment
+    /// anywhere in the workspace shows up as a diff here.
+    pub allowed_by_rule: BTreeMap<String, usize>,
     /// Unexplained findings (must be 0; the lint binary enforces it).
+    pub findings: usize,
+}
+
+/// Per-type row of the ownership access map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OwnershipTypeRow {
+    /// Worker or guide type name.
+    pub name: String,
+    /// Fields tracked.
+    pub fields: usize,
+    /// `self.field` reads in the type's own methods.
+    pub reads: usize,
+    /// `self.field` writes in the type's own methods.
+    pub writes: usize,
+    /// Worker-field accesses through the guide's `EpochControl` handle —
+    /// the sanctioned barrier path.
+    pub barrier: usize,
+}
+
+/// Ownership-lint section of the report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OwnershipSection {
+    /// Governed files analyzed.
+    pub files: usize,
+    /// The access map, one row per worker/guide type.
+    pub types: Vec<OwnershipTypeRow>,
+    /// Partition violations (must be 0; the ownership binary enforces it).
     pub findings: usize,
 }
 
@@ -84,6 +163,8 @@ pub struct Report {
     pub model_checker: McSection,
     /// Channel-dependency-graph analyzer.
     pub cdg: CdgSection,
+    /// Epoch-engine ownership lint.
+    pub ownership: OwnershipSection,
     /// Determinism lint.
     pub lint: LintSection,
 }
@@ -92,6 +173,23 @@ pub struct Report {
 /// retry bound tightened as the CPU count grows to keep the product space
 /// at regenerate-in-seconds scale.
 pub const MC_CONFIGS: [(usize, u8, usize); 3] = [(2, 2, 10_000), (3, 2, 60_000), (4, 1, 120_000)];
+
+/// The reduction-table configurations for the fault-extended recovery
+/// protocol. Plain exploration is recorded up to [`PLAIN_CEILING`] CPUs;
+/// beyond it only the reduced searches run (that is the point of the
+/// reductions).
+pub const REDUCTION_CONFIGS: [(usize, u8); 7] =
+    [(2, 2), (3, 2), (4, 1), (5, 1), (6, 1), (7, 1), (8, 1)];
+
+/// Largest CPU count whose *unreduced* recovery space is still recorded.
+pub const PLAIN_CEILING: usize = 4;
+
+/// Sample sizes for the seeded degraded sweeps at scale.
+pub const SAMPLED_SINGLE_16X16: usize = 32;
+/// 32×32 single-cut sample (each configuration costs seconds).
+pub const SAMPLED_SINGLE_32X32: usize = 16;
+/// 8×8 double-cut sample (pool: 8128 unordered pairs).
+pub const SAMPLED_DOUBLE_8X8: usize = 64;
 
 /// Run every analysis at its pinned configuration.
 ///
@@ -119,16 +217,83 @@ pub fn build(workspace_root: &Path) -> Report {
             }
         })
         .to_vec();
+    // The recovery-path mutations are checked under full reduction on the
+    // fault-extended model — the configuration the large-scale runs use.
+    let recovery_mutations_caught = Mutation::RECOVERY_SEEDED
+        .map(|m| {
+            let cex = check_reduced(
+                &ProtocolModel::recovery_mutated(2, 1, m),
+                100_000,
+                Reduction::FULL,
+            )
+            .violation()
+            .unwrap_or_else(|| panic!("recovery mutation {} must be caught", m.id()));
+            MutationCatch {
+                mutation: m.id().to_string(),
+                invariant: cex.invariant,
+                trace_len: cex.steps.len(),
+            }
+        })
+        .to_vec();
+    let recovery_reduction = REDUCTION_CONFIGS
+        .map(|(cpus, max_retries)| {
+            let model = ProtocolModel::recovery(cpus, max_retries);
+            let plain = (cpus <= PLAIN_CEILING).then(|| check(&model, 200_000).expect_pass());
+            ReductionRow {
+                cpus,
+                max_retries,
+                plain,
+                symmetry: check_reduced(&model, 600_000, Reduction::SYMMETRY).expect_pass(),
+                full: check_reduced(&model, 600_000, Reduction::FULL).expect_pass(),
+            }
+        })
+        .to_vec();
     let backoff_cap_attempt =
         backoff_saturates(&RetryPolicy::gs1280_default()).expect("backoff must saturate");
 
     let healthy_8x8 = cdg::healthy_torus(8, 8, true).verdict().expect_acyclic();
+    let healthy_16x16 = cdg::healthy_torus(16, 16, true).verdict().expect_acyclic();
+    let healthy_32x32 = cdg::healthy_torus(32, 32, true).verdict().expect_acyclic();
     let single_vc_8x8_cycle_len = match cdg::healthy_torus(8, 8, false).verdict() {
         CdgVerdict::Cycle(c) => c.len(),
         CdgVerdict::Acyclic(_) => panic!("single-VC torus must have a cycle"),
     };
     let single_cuts_8x8 = cdg::sweep_single_cuts(8, 8).expect("single cuts acyclic");
     let double_cuts_4x4 = cdg::sweep_double_cuts(4, 4).expect("double cuts acyclic");
+    let sampled = |sample: usize, summary: Result<SweepSummary, String>| SampledSweep {
+        sample,
+        seed: cdg::SAMPLE_SEED,
+        summary: summary.expect("sampled cuts acyclic"),
+    };
+    let sampled_single_cuts_16x16 = sampled(
+        SAMPLED_SINGLE_16X16,
+        cdg::sweep_sampled_single_cuts(16, 16, SAMPLED_SINGLE_16X16, cdg::SAMPLE_SEED),
+    );
+    let sampled_single_cuts_32x32 = sampled(
+        SAMPLED_SINGLE_32X32,
+        cdg::sweep_sampled_single_cuts(32, 32, SAMPLED_SINGLE_32X32, cdg::SAMPLE_SEED),
+    );
+    let sampled_double_cuts_8x8 = sampled(
+        SAMPLED_DOUBLE_8X8,
+        cdg::sweep_sampled_double_cuts(8, 8, SAMPLED_DOUBLE_8X8, cdg::SAMPLE_SEED),
+    );
+
+    let own = ownership::scan_workspace(workspace_root).expect("governed files scan");
+    let ownership_section = OwnershipSection {
+        files: own.files,
+        types: own
+            .access
+            .iter()
+            .map(|(name, fields)| OwnershipTypeRow {
+                name: name.clone(),
+                fields: fields.len(),
+                reads: fields.values().map(|a| a.reads).sum(),
+                writes: fields.values().map(|a| a.writes).sum(),
+                barrier: fields.values().map(|a| a.barrier).sum(),
+            })
+            .collect(),
+        findings: own.findings.len(),
+    };
 
     let scan = lint::scan_workspace(workspace_root).expect("workspace scans");
 
@@ -136,17 +301,26 @@ pub fn build(workspace_root: &Path) -> Report {
         model_checker: McSection {
             configs,
             mutations_caught,
+            recovery_mutations_caught,
+            recovery_reduction,
             backoff_cap_attempt,
         },
         cdg: CdgSection {
             healthy_8x8,
+            healthy_16x16,
+            healthy_32x32,
             single_vc_8x8_cycle_len,
             single_cuts_8x8,
             double_cuts_4x4,
+            sampled_single_cuts_16x16,
+            sampled_single_cuts_32x32,
+            sampled_double_cuts_8x8,
         },
+        ownership: ownership_section,
         lint: LintSection {
             files: scan.files,
             allowed: scan.allowed,
+            allowed_by_rule: scan.allowed_by_rule,
             findings: scan.findings.len(),
         },
     }
@@ -197,9 +371,17 @@ mod tests {
         assert!(committed.contains("\"findings\": 0"));
         assert!(committed.contains(&format!("\"files\": {}", scan.files)));
         assert!(committed.contains(&format!("\"allowed\": {}", scan.allowed)));
-        for m in Mutation::SEEDED {
+        for m in Mutation::SEEDED.iter().chain(&Mutation::RECOVERY_SEEDED) {
             assert!(committed.contains(m.id()), "mutation {} missing", m.id());
         }
+        let own = ownership::scan_workspace(&workspace_root()).expect("governed files scan");
+        assert_eq!(own.findings.len(), 0);
+        assert!(committed.contains("CampaignWorker"));
+        assert!(committed.contains("CampaignGuide"));
+        assert!(
+            committed.contains(&format!("\"seed\": {}", crate::cdg::SAMPLE_SEED)),
+            "sampling seed drifted from the committed artifact"
+        );
     }
 
     /// Full regeneration is byte-identical. Slow in debug builds, so CI

@@ -1,0 +1,108 @@
+//! Property tests for the model-checker reductions.
+//!
+//! Symmetry and partial-order reduction are only worth having if they are
+//! *sound*: the reduced search must reach the same verdict as the plain
+//! one on every configuration, and the symmetry quotient must contain
+//! exactly one representative per orbit of the unreduced state space.
+//! These properties are argued in `verify::protocol` (the invariants are
+//! CPU-permutation-invariant; the ample singleton satisfies C1–C3); the
+//! tests here check the argument against the implementation across
+//! randomly drawn configurations — healthy, fault-extended, and every
+//! seeded mutation.
+
+// Test/harness code may unwrap freely; the workspace denies it in libraries.
+#![allow(clippy::unwrap_used)]
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use verify::mc::{check, check_reduced, reachable, ReducibleModel, Reduction, Verdict};
+use verify::protocol::{Mutation, ProtocolModel};
+
+/// Generous for the largest drawn config (3 CPUs, 2 retries, faults:
+/// 16k states plain).
+const BOUND: usize = 200_000;
+
+fn pass_counts<M: verify::mc::Model>(v: Verdict<M>) -> Result<verify::mc::Exploration, String> {
+    match v {
+        Verdict::Pass(e) => Ok(e),
+        Verdict::Violated(cex) => Err(format!(
+            "unexpected violation of `{}` at depth {}",
+            cex.invariant,
+            cex.steps.len()
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On clean configurations the reductions change only the cost of the
+    /// search, never its outcome: all three verdicts pass, symmetry
+    /// preserves the exploration depth (minimal counterexamples stay
+    /// minimal), and the symmetry-reduced search visits exactly one state
+    /// per orbit of the plain reachable set.
+    #[test]
+    fn reductions_are_sound_on_clean_configs(
+        cpus in 2usize..=3,
+        max_retries in 1u8..=2,
+        faults in any::<bool>(),
+    ) {
+        let model = if faults {
+            ProtocolModel::recovery(cpus, max_retries)
+        } else {
+            ProtocolModel::new(cpus, max_retries)
+        };
+        let plain = pass_counts(check(&model, BOUND)).unwrap();
+        let sym = pass_counts(check_reduced(&model, BOUND, Reduction::SYMMETRY)).unwrap();
+        let full = pass_counts(check_reduced(&model, BOUND, Reduction::FULL)).unwrap();
+
+        prop_assert!(sym.states <= plain.states);
+        prop_assert!(full.states <= sym.states);
+        prop_assert_eq!(sym.depth, plain.depth);
+
+        // The quotient is exact: canonicalizing every plain-reachable
+        // state yields precisely the states the reduced search visited.
+        let states = reachable(&model, BOUND).unwrap();
+        prop_assert_eq!(states.len(), plain.states);
+        let orbits: BTreeSet<_> = states.iter().map(|s| model.canonical(s)).collect();
+        prop_assert_eq!(sym.states, orbits.len());
+
+        // Canonicalization is a projection: applying it twice is applying
+        // it once, and a canonical state is its own representative.
+        for s in states.iter().step_by(7) {
+            let c = model.canonical(s);
+            prop_assert_eq!(model.canonical(&c), c);
+        }
+    }
+
+    /// Every seeded mutation stays caught under reduction, and symmetry
+    /// alone reports a counterexample of exactly the plain (minimal)
+    /// length. Full reduction may lengthen the trace (POR reorders
+    /// interleavings) but never loses the bug.
+    #[test]
+    fn reductions_preserve_mutation_verdicts(
+        cpus in 2usize..=3,
+        max_retries in 1u8..=2,
+        mutation in prop::sample::select(vec![
+            Mutation::SEEDED[0],
+            Mutation::SEEDED[1],
+            Mutation::SEEDED[2],
+            Mutation::RECOVERY_SEEDED[0],
+            Mutation::RECOVERY_SEEDED[1],
+        ]),
+    ) {
+        let model = ProtocolModel::recovery_mutated(cpus, max_retries, mutation);
+        let Verdict::Violated(plain) = check(&model, BOUND) else {
+            return Err(TestCaseError::Fail(format!("{mutation:?}: plain search missed it")));
+        };
+        let Verdict::Violated(sym) = check_reduced(&model, BOUND, Reduction::SYMMETRY) else {
+            return Err(TestCaseError::Fail(format!("{mutation:?}: symmetry lost it")));
+        };
+        let Verdict::Violated(full) = check_reduced(&model, BOUND, Reduction::FULL) else {
+            return Err(TestCaseError::Fail(format!("{mutation:?}: full reduction lost it")));
+        };
+        prop_assert_eq!(sym.steps.len(), plain.steps.len());
+        prop_assert!(full.steps.len() >= plain.steps.len());
+    }
+}
