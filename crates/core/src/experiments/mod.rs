@@ -12,3 +12,4 @@ pub mod spec;
 pub mod stream;
 pub mod summary;
 pub mod telemetry;
+pub mod timeline;

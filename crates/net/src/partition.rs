@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use alphasim_kernel::{SimDuration, SimTime};
 use alphasim_telemetry::trace::{PID_LINKS, PID_MESSAGES};
-use alphasim_telemetry::{HopBreakdown, TraceSink};
+use alphasim_telemetry::{HopBreakdown, Timeline, TraceSink};
 use alphasim_topology::route::{RoutePolicy, Routes};
 use alphasim_topology::{Coord, Direction, LinkClass, NodeId, Port, Topology};
 
@@ -469,6 +469,78 @@ impl<T: Topology> FabricTables<T> {
     }
 }
 
+/// Topology-indexed and time-windowed accumulators for one region's share
+/// of the fabric: where traffic lands (per-node), where it flows (per-link)
+/// and when (a fixed-width [`Timeline`]).
+///
+/// Every node and every directed link is owned by exactly one region, so
+/// per-region accumulators partition the fabric and merging is exact:
+/// element-wise add (plus `max` for the backlog high-water marks) and a
+/// commutative [`Timeline::merge`]. Merged in region order, the result is
+/// byte-identical at any shard/thread count — same argument as the
+/// registries the campaigns already merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetHeat {
+    /// Messages delivered at each destination node, indexed by node id.
+    pub node_delivered: Vec<u64>,
+    /// Payload bytes delivered at each destination node.
+    pub node_bytes: Vec<u64>,
+    /// Payload bytes granted onto each directed link.
+    pub link_bytes: Vec<u64>,
+    /// Picoseconds each directed link was occupied by granted transfers.
+    pub link_busy_ps: Vec<u64>,
+    /// Deepest queue observed behind each directed link at grant time.
+    pub link_peak_backlog: Vec<u64>,
+    /// Windowed counters `net.delivered` / `net.bytes` / `net.link_busy_ps`,
+    /// gauge `net.peak_backlog`, histogram `net.latency_ns`.
+    pub timeline: Timeline,
+}
+
+impl NetHeat {
+    /// Zeroed accumulators over `nodes` nodes and `links` directed links,
+    /// windowed at `window_ps`.
+    pub fn new(window_ps: u64, nodes: usize, links: usize) -> Self {
+        NetHeat {
+            node_delivered: vec![0; nodes],
+            node_bytes: vec![0; nodes],
+            link_bytes: vec![0; links],
+            link_busy_ps: vec![0; links],
+            link_peak_backlog: vec![0; links],
+            timeline: Timeline::new(window_ps),
+        }
+    }
+
+    /// Fold another region's accumulators into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides cover different topologies or window widths.
+    pub fn merge(&mut self, other: &NetHeat) {
+        assert_eq!(self.node_delivered.len(), other.node_delivered.len());
+        assert_eq!(self.link_bytes.len(), other.link_bytes.len());
+        for (a, b) in self.node_delivered.iter_mut().zip(&other.node_delivered) {
+            *a += b;
+        }
+        for (a, b) in self.node_bytes.iter_mut().zip(&other.node_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.link_bytes.iter_mut().zip(&other.link_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.link_busy_ps.iter_mut().zip(&other.link_busy_ps) {
+            *a += b;
+        }
+        for (a, b) in self
+            .link_peak_backlog
+            .iter_mut()
+            .zip(&other.link_peak_backlog)
+        {
+            *a = (*a).max(*b);
+        }
+        self.timeline.merge(&other.timeline);
+    }
+}
+
 /// One region's owned slice of the fabric: the mutable [`Link`] state of
 /// every directed link whose sending node the region owns, the packets
 /// queued on those links, and the region's share of the Chrome trace.
@@ -486,6 +558,7 @@ pub struct RegionNet<T: Topology, P> {
     tickets: Vec<Option<InFlight>>,
     delivered: u64,
     trace: Option<Box<TraceSink>>,
+    heat: Option<Box<NetHeat>>,
 }
 
 impl<T: Topology, P> RegionNet<T, P> {
@@ -507,6 +580,7 @@ impl<T: Topology, P> RegionNet<T, P> {
             tickets,
             delivered: 0,
             trace: None,
+            heat: None,
         }
     }
 
@@ -550,6 +624,27 @@ impl<T: Topology, P> RegionNet<T, P> {
     /// Detach and return the collected trace, if tracing was on.
     pub fn take_trace(&mut self) -> Option<TraceSink> {
         self.trace.take().map(|b| *b)
+    }
+
+    /// Start accumulating topology heat and a `window_ps`-wide timeline for
+    /// this region's slice of the fabric.
+    pub fn enable_heat(&mut self, window_ps: u64) {
+        self.heat = Some(Box::new(NetHeat::new(
+            window_ps,
+            self.tables.topology().node_count(),
+            self.tables.link_count(),
+        )));
+    }
+
+    /// The heat accumulators, when enabled — for callers charging extra
+    /// windowed metrics (e.g. memory service counters).
+    pub fn heat_mut(&mut self) -> Option<&mut NetHeat> {
+        self.heat.as_deref_mut()
+    }
+
+    /// Detach and return the accumulated heat, if it was enabled.
+    pub fn take_heat(&mut self) -> Option<NetHeat> {
+        self.heat.take().map(|b| *b)
     }
 
     /// Exclusive access to an owned link (barrier-time fault mutation).
@@ -617,6 +712,15 @@ impl<T: Topology, P> RegionNet<T, P> {
         debug_assert_eq!(self.tables.region_of(node), self.region, "foreign arrive");
         if node == pkt.dst {
             self.delivered += 1;
+            if let Some(h) = self.heat.as_deref_mut() {
+                h.node_delivered[node.index()] += 1;
+                h.node_bytes[node.index()] += pkt.bytes;
+                let at = now.as_ps();
+                h.timeline.counter_add(at, "net.delivered", 1);
+                h.timeline.counter_add(at, "net.bytes", pkt.bytes);
+                h.timeline
+                    .record(at, "net.latency_ns", pkt.latency(now).as_ps() / 1_000);
+            }
             if let Some(tr) = self.trace.as_deref_mut() {
                 tr.complete(
                     pkt.class.name(),
@@ -747,6 +851,16 @@ impl<T: Topology, P> RegionNet<T, P> {
             arrive_at,
             dest: to,
         });
+        if let Some(h) = self.heat.as_deref_mut() {
+            h.link_bytes[link_id] += bytes;
+            h.link_busy_ps[link_id] += occupancy.as_ps();
+            h.link_peak_backlog[link_id] = h.link_peak_backlog[link_id].max(u64::from(backlog));
+            let at = now.as_ps();
+            h.timeline
+                .counter_add(at, "net.link_busy_ps", occupancy.as_ps());
+            h.timeline
+                .gauge_max(at, "net.peak_backlog", u64::from(backlog));
+        }
         if let Some(tr) = self.trace.as_deref_mut() {
             tr.complete(
                 msg_class.name(),
@@ -879,6 +993,64 @@ mod tests {
         assert_eq!(reference.len(), 5);
         for shards in [2, 4] {
             assert_eq!(deliveries_at(shards), reference, "{shards} shards diverged");
+        }
+    }
+
+    /// Same traffic as `deliveries_at`, with heat accumulation on; returns
+    /// the region heats merged in region order.
+    fn heat_at(shards: usize) -> NetHeat {
+        let t = Arc::new(tables(shards));
+        let mut nets: Vec<RegionNet<Torus2D, ()>> = (0..t.region_count())
+            .map(|r| RegionNet::new(r, t.clone()))
+            .collect();
+        for net in &mut nets {
+            net.enable_heat(10_000);
+        }
+        let mut seed = Vec::new();
+        for (i, (src, dst)) in [(0usize, 15usize), (3, 12), (5, 6), (14, 1), (9, 9)]
+            .into_iter()
+            .enumerate()
+        {
+            let uid = (i as u64) << 16;
+            let pkt = packet(src, dst, uid);
+            let region = t.region_of(pkt.src);
+            let node = pkt.src;
+            seed.push((
+                SimTime::ZERO,
+                tb_arrive(uid),
+                region,
+                NetStep::Arrive {
+                    at: SimTime::ZERO,
+                    node,
+                    pkt,
+                },
+            ));
+        }
+        run_to_empty(&mut nets, seed);
+        let mut merged = NetHeat::new(10_000, t.topology().node_count(), t.link_count());
+        for net in &mut nets {
+            merged.merge(&net.take_heat().expect("heat was enabled"));
+        }
+        merged
+    }
+
+    #[test]
+    fn heat_accumulators_are_shard_count_invariant_and_sum_exactly() {
+        let reference = heat_at(1);
+        // All five messages landed, and only at their destinations.
+        assert_eq!(reference.node_delivered.iter().sum::<u64>(), 5);
+        assert_eq!(reference.node_delivered[15], 1);
+        assert_eq!(reference.node_bytes.iter().sum::<u64>(), 5 * 64);
+        // The windowed counters partition the same totals (exact-sum).
+        let totals = reference.timeline.totals();
+        assert_eq!(totals.counter("net.delivered"), 5);
+        assert_eq!(totals.counter("net.bytes"), 5 * 64);
+        assert_eq!(
+            totals.counter("net.link_busy_ps"),
+            reference.link_busy_ps.iter().sum::<u64>()
+        );
+        for shards in [2, 4] {
+            assert_eq!(heat_at(shards), reference, "{shards} shards diverged");
         }
     }
 

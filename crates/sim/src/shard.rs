@@ -374,11 +374,18 @@ struct ShardSlot<W: ShardWorker> {
     bound: SimTime,
     processed: u64,
     peak: usize,
+    /// Accumulate wall-clock busy time per slot (epoch profiler only).
+    time_wall: bool,
+    wall_ns: u64,
 }
 
 /// Process every local event strictly before the epoch bound, merging
 /// same-shard emissions back into the heap as it goes.
 fn run_slot<W: ShardWorker>(slot: &mut ShardSlot<W>) {
+    // Wall-clock here is reporting-only (the epoch profiler's optional
+    // overhead view) and never feeds back into simulation decisions; off,
+    // it costs one untaken branch.
+    let t0 = slot.time_wall.then(std::time::Instant::now); // lint-allow: wall-clock
     while let Some(&(key, _)) = slot.heap.first() {
         let at = unpack_time(key);
         if at >= slot.bound {
@@ -394,6 +401,101 @@ fn run_slot<W: ShardWorker>(slot: &mut ShardSlot<W>) {
         if slot.heap.len() > slot.peak {
             slot.peak = slot.heap.len();
         }
+    }
+    if let Some(t0) = t0 {
+        slot.wall_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+}
+
+/// One epoch of one profiled run: the sim-time span the epoch covered and
+/// what every shard did inside it. `processed[s]` / `merged[s]` are
+/// sim-time facts (event counts), identical at any thread count;
+/// `wall_ns` is the optional measured view and is never part of any
+/// byte-checked artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSample {
+    /// Global minimum pending event time when the epoch began.
+    pub start_ps: u64,
+    /// The epoch's exclusive processing bound.
+    pub end_ps: u64,
+    /// Events each shard processed this epoch, indexed by shard id.
+    pub processed: Vec<u64>,
+    /// Cross-region events merged *into* each shard at the barrier.
+    pub merged: Vec<u64>,
+    /// Wall-clock nanoseconds each shard spent busy, when wall profiling
+    /// was requested.
+    pub wall_ns: Option<Vec<u64>>,
+}
+
+/// The epoch-parallel profiler's output: one [`EpochSample`] per barrier
+/// epoch, in execution order. Collected only when
+/// [`EpochExecutor::enable_profile`] was called — the zero-cost-when-off
+/// pattern every other instrumentation site follows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochProfile {
+    wall: bool,
+    /// Per-epoch samples in execution order.
+    pub samples: Vec<EpochSample>,
+}
+
+impl EpochProfile {
+    /// Whether wall-clock spans were collected.
+    pub fn wall_clock(&self) -> bool {
+        self.wall
+    }
+
+    /// Number of profiled epochs.
+    pub fn epochs(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of shards profiled (0 before the first epoch).
+    pub fn shard_count(&self) -> usize {
+        self.samples.first().map_or(0, |s| s.processed.len())
+    }
+
+    /// Total events processed per shard across all epochs — the sim-time
+    /// "busy" series behind the load-imbalance metric.
+    pub fn busy_per_shard(&self) -> Vec<u64> {
+        let mut busy = vec![0u64; self.shard_count()];
+        for s in &self.samples {
+            for (b, p) in busy.iter_mut().zip(&s.processed) {
+                *b += p;
+            }
+        }
+        busy
+    }
+
+    /// Total cross-region events merged into each shard at barriers.
+    pub fn merged_per_shard(&self) -> Vec<u64> {
+        let mut merged = vec![0u64; self.shard_count()];
+        for s in &self.samples {
+            for (m, v) in merged.iter_mut().zip(&s.merged) {
+                *m += v;
+            }
+        }
+        merged
+    }
+
+    /// The shard that processed the most events overall (lowest id on
+    /// ties) — the critical shard every barrier waits for.
+    pub fn critical_shard(&self) -> usize {
+        let busy = self.busy_per_shard();
+        let max = busy.iter().copied().max().unwrap_or(0);
+        busy.iter().position(|&b| b == max).unwrap_or(0)
+    }
+
+    /// Load imbalance as `max / mean` of per-shard busy event counts, in
+    /// integer milli-units (1000 = perfectly balanced; 0 when no events
+    /// were processed). Integer math keeps it byte-stable in artifacts.
+    pub fn imbalance_milli(&self) -> u64 {
+        let busy = self.busy_per_shard();
+        let total: u64 = busy.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let max = busy.iter().copied().max().unwrap_or(0);
+        max * 1000 * busy.len() as u64 / total
     }
 }
 
@@ -552,6 +654,7 @@ pub struct EpochExecutor<W: ShardWorker> {
     pool: Option<WorkerPool<ShardSlot<W>>>,
     lookahead: SimDuration,
     epochs: u64,
+    profile: Option<EpochProfile>,
 }
 
 impl<W: ShardWorker> EpochExecutor<W> {
@@ -580,6 +683,8 @@ impl<W: ShardWorker> EpochExecutor<W> {
                 bound: SimTime::ZERO,
                 processed: 0,
                 peak: 0,
+                time_wall: false,
+                wall_ns: 0,
             })
             .collect();
         let pool = (threads > 1 && slots.len() > 1)
@@ -589,7 +694,30 @@ impl<W: ShardWorker> EpochExecutor<W> {
             pool,
             lookahead,
             epochs: 0,
+            profile: None,
         }
+    }
+
+    /// Start collecting an [`EpochProfile`]: one sample per barrier epoch
+    /// from now on. With `wall` set, shards also accumulate wall-clock busy
+    /// nanoseconds (measurement only — sim results are unaffected either
+    /// way, which the tests assert).
+    pub fn enable_profile(&mut self, wall: bool) {
+        for slot in &mut self.slots {
+            slot.time_wall = wall;
+        }
+        self.profile = Some(EpochProfile {
+            wall,
+            samples: Vec::new(),
+        });
+    }
+
+    /// Detach the collected profile, stopping further collection.
+    pub fn take_profile(&mut self) -> Option<EpochProfile> {
+        for slot in &mut self.slots {
+            slot.time_wall = false;
+        }
+        self.profile.take()
     }
 
     /// Number of region shards.
@@ -620,6 +748,16 @@ impl<W: ShardWorker> EpochExecutor<W> {
     /// cross-shard emissions into their destination heaps in ascending
     /// source-shard order — a fixed, shard-count-independent merge order.
     fn run_epoch(&mut self, bound: SimTime) {
+        // Snapshot the profiler's "before" view first: the epoch's start is
+        // the global minimum pending event time, its per-shard deltas come
+        // from the monotonic processed / wall counters.
+        let before = self.profile.as_ref().map(|_| {
+            (
+                self.min_next().unwrap_or(bound),
+                self.slots.iter().map(|s| s.processed).collect::<Vec<_>>(),
+                self.slots.iter().map(|s| s.wall_ns).collect::<Vec<_>>(),
+            )
+        });
         for slot in &mut self.slots {
             slot.bound = bound;
             slot.outbox.lookahead = self.lookahead;
@@ -635,14 +773,50 @@ impl<W: ShardWorker> EpochExecutor<W> {
                 }
             }
         }
+        let mut merged_in = vec![
+            0u64;
+            if before.is_some() {
+                self.slots.len()
+            } else {
+                0
+            }
+        ];
         for src in 0..self.slots.len() {
             let remote = std::mem::take(&mut self.slots[src].outbox.remote);
             for (dest, at, tb, ev) in remote {
                 debug_assert!(at >= bound, "emit assertion admitted a past event");
+                if let Some(m) = merged_in.get_mut(dest) {
+                    *m += 1;
+                }
                 heap_push(&mut self.slots[dest].heap, pack(at, tb), ev);
             }
         }
         self.epochs += 1;
+        if let Some((start, processed_before, wall_before)) = before {
+            let processed: Vec<u64> = self
+                .slots
+                .iter()
+                .zip(&processed_before)
+                .map(|(s, b)| s.processed - b)
+                .collect();
+            let wall = self.profile.as_ref().is_some_and(|p| p.wall);
+            let wall_ns = wall.then(|| {
+                self.slots
+                    .iter()
+                    .zip(&wall_before)
+                    .map(|(s, b)| s.wall_ns - b)
+                    .collect()
+            });
+            if let Some(p) = self.profile.as_mut() {
+                p.samples.push(EpochSample {
+                    start_ps: start.as_ps(),
+                    end_ps: bound.as_ps(),
+                    processed,
+                    merged: merged_in,
+                    wall_ns,
+                });
+            }
+        }
     }
 
     fn report(&self) -> EpochReport {
@@ -895,6 +1069,103 @@ mod tests {
                     "{shards} shards x {threads} threads diverged"
                 );
             }
+        }
+    }
+
+    fn run_ring_profiled(
+        shards: usize,
+        threads: usize,
+        wall: bool,
+    ) -> (Vec<(u64, u64)>, EpochProfile, EpochReport) {
+        let nodes = 16;
+        let workers: Vec<RingWorker> = (0..shards)
+            .map(|_| RingWorker {
+                nodes,
+                shards,
+                hop_ps: 50,
+                log: Vec::new(),
+                emitted: 0,
+            })
+            .collect();
+        let mut exec = EpochExecutor::new(workers, SimDuration::from_ps(50), threads);
+        for msg in 0..48u64 {
+            let node = (msg as usize * 5) % nodes;
+            exec.seed(
+                region_of(node, nodes, shards),
+                SimTime::from_ps(msg % 7),
+                msg,
+                Hop {
+                    msg,
+                    node,
+                    remaining: 3 + (msg % 9) as u32,
+                },
+            );
+        }
+        exec.enable_profile(wall);
+        let report = exec.run_until_idle();
+        let profile = exec.take_profile().expect("profile was enabled");
+        let mut merged: Vec<(u64, u64)> = exec
+            .into_workers()
+            .into_iter()
+            .flat_map(|w| w.log)
+            .collect();
+        merged.sort_unstable();
+        (merged, profile, report)
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_results_and_busy_sums_match_the_report() {
+        let plain = run_ring(4, 1, 50, 50);
+        let (profiled, profile, report) = run_ring_profiled(4, 1, false);
+        assert_eq!(profiled, plain, "profiling must not change sim results");
+        assert_eq!(profile.epochs() as u64, report.epochs);
+        assert_eq!(profile.shard_count(), 4);
+        assert_eq!(
+            profile.busy_per_shard(),
+            report.processed,
+            "per-epoch processed deltas must sum to the report totals"
+        );
+        // Epoch spans are well-formed, monotone sim-time intervals.
+        let mut prev_end = 0u64;
+        for s in &profile.samples {
+            assert!(s.start_ps < s.end_ps, "epoch span must be non-empty");
+            assert!(s.start_ps >= prev_end.saturating_sub(50), "epochs advance");
+            prev_end = s.end_ps;
+            assert_eq!(s.processed.len(), 4);
+            assert_eq!(s.merged.len(), 4);
+            assert!(s.wall_ns.is_none(), "wall profiling was off");
+        }
+        // The critical shard is the argmax of the busy series, and the
+        // imbalance metric is at least 1000 (max >= mean) once work ran.
+        let busy = profile.busy_per_shard();
+        assert_eq!(busy[profile.critical_shard()], *busy.iter().max().unwrap());
+        assert!(profile.imbalance_milli() >= 1000);
+        // Single-shard runs merge nothing; multi-shard ring traffic must.
+        assert!(profile.merged_per_shard().iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn profile_sim_time_fields_are_thread_invariant() {
+        let (_, reference, _) = run_ring_profiled(4, 1, false);
+        let (_, parallel, _) = run_ring_profiled(4, 4, false);
+        assert_eq!(
+            parallel, reference,
+            "sim-time profile fields must not depend on thread count"
+        );
+    }
+
+    #[test]
+    fn wall_profiling_records_spans_without_perturbing_sim_time_fields() {
+        let (results, walled, _) = run_ring_profiled(2, 2, true);
+        assert!(walled.wall_clock());
+        assert_eq!(results, run_ring(2, 1, 50, 50));
+        let (_, reference, _) = run_ring_profiled(2, 1, false);
+        assert_eq!(walled.epochs(), reference.epochs());
+        for (w, r) in walled.samples.iter().zip(&reference.samples) {
+            assert_eq!(w.wall_ns.as_ref().map(Vec::len), Some(2));
+            assert_eq!((w.start_ps, w.end_ps), (r.start_ps, r.end_ps));
+            assert_eq!(&w.processed, &r.processed);
+            assert_eq!(&w.merged, &r.merged);
         }
     }
 

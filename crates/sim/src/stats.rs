@@ -8,35 +8,42 @@ use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
 
-/// Mean and p99 of a stream of durations.
+/// Mean, median, and p99 of a stream of durations.
 ///
-/// The mean streams (running sum); p99 is the nearest-rank-below quantile
-/// `sorted[(n - 1) * 99 / 100]`, which needs the sample order, so samples
-/// are kept and sorted once when the accumulator is consumed by
-/// [`finish`](Self::finish). This is the one shared implementation behind
-/// every latency summary — the fault-campaign resilience sweep and the
-/// telemetry experiment both report exactly these two numbers.
+/// The mean streams (running sum); the quantiles are the nearest-rank-below
+/// rule `sorted[(n - 1) * p / 100]`, which needs the sample order, so
+/// samples are kept and sorted once when the accumulator is consumed by
+/// [`finish`](Self::finish) or [`finish_full`](Self::finish_full). This is
+/// the one shared implementation behind every latency summary — the
+/// fault-campaign resilience sweep, the telemetry experiment, and the
+/// per-window latency series of the timeline artifact all report exactly
+/// these numbers.
 ///
 /// # Examples
 ///
 /// ```
-/// use alphasim_kernel::stats::MeanP99;
+/// use alphasim_kernel::stats::MeanP50P99;
 /// use alphasim_kernel::SimDuration;
 ///
-/// let mut q = MeanP99::new();
+/// let mut q = MeanP50P99::new();
 /// for ns in [10.0, 20.0, 30.0] {
 ///     q.record(SimDuration::from_ns(ns));
 /// }
-/// let (mean, p99) = q.finish();
+/// let (mean, p50, p99) = q.finish_full();
 /// assert_eq!(mean, SimDuration::from_ns(20.0));
+/// assert_eq!(p50, SimDuration::from_ns(20.0)); // rank (3-1)*50/100 = 1
 /// assert_eq!(p99, SimDuration::from_ns(20.0)); // rank (3-1)*99/100 = 1
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct MeanP99 {
+pub struct MeanP50P99 {
     samples: Vec<SimDuration>,
 }
 
-impl MeanP99 {
+/// The accumulator's historical name, kept so existing call sites and
+/// docs keep reading naturally where only `(mean, p99)` is consumed.
+pub type MeanP99 = MeanP50P99;
+
+impl MeanP50P99 {
     /// An empty accumulator.
     pub fn new() -> Self {
         Self::default()
@@ -44,7 +51,7 @@ impl MeanP99 {
 
     /// An empty accumulator with room for `cap` samples.
     pub fn with_capacity(cap: usize) -> Self {
-        MeanP99 {
+        MeanP50P99 {
             samples: Vec::with_capacity(cap),
         }
     }
@@ -65,20 +72,31 @@ impl MeanP99 {
     }
 
     /// Consume the accumulator, returning `(mean, p99)` — both
-    /// [`SimDuration::ZERO`] when empty.
-    pub fn finish(mut self) -> (SimDuration, SimDuration) {
+    /// [`SimDuration::ZERO`] when empty. The historical two-value summary;
+    /// byte-compatible with every committed artifact.
+    pub fn finish(self) -> (SimDuration, SimDuration) {
+        let (mean, _, p99) = self.finish_full();
+        (mean, p99)
+    }
+
+    /// Consume the accumulator, returning `(mean, p50, p99)` — all
+    /// [`SimDuration::ZERO`] when empty. The quantiles share the
+    /// nearest-rank-below rule, so the p99 is bit-identical to what
+    /// [`finish`](Self::finish) has always reported.
+    pub fn finish_full(mut self) -> (SimDuration, SimDuration, SimDuration) {
         self.samples.sort_unstable();
         let mean = if self.samples.is_empty() {
             SimDuration::ZERO
         } else {
             self.samples.iter().copied().sum::<SimDuration>() / self.samples.len() as u64
         };
-        let p99 = self
-            .samples
-            .get(self.samples.len().saturating_sub(1) * 99 / 100)
-            .copied()
-            .unwrap_or(SimDuration::ZERO);
-        (mean, p99)
+        let rank = |p: usize| {
+            self.samples
+                .get(self.samples.len().saturating_sub(1) * p / 100)
+                .copied()
+                .unwrap_or(SimDuration::ZERO)
+        };
+        (mean, rank(50), rank(99))
     }
 }
 
@@ -452,6 +470,37 @@ mod tests {
         let want_mean = reference.iter().copied().sum::<SimDuration>() / reference.len() as u64;
         let want_p99 = reference[(reference.len() - 1) * 99 / 100];
         assert_eq!(q.finish(), (want_mean, want_p99));
+    }
+
+    #[test]
+    fn p50_uses_the_same_rank_rule_and_leaves_p99_untouched() {
+        // The satellite's contract: adding the median must not move the
+        // two historically committed numbers by a single bit.
+        let mut q = MeanP50P99::with_capacity(101);
+        let mut reference: Vec<SimDuration> = Vec::new();
+        let mut x = 99u64;
+        for _ in 0..101 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let d = SimDuration::from_ps(x % 5_000_000);
+            q.record(d);
+            reference.push(d);
+        }
+        let legacy = q.clone().finish();
+        let (mean, p50, p99) = q.finish_full();
+        assert_eq!((mean, p99), legacy, "finish() must be unchanged");
+        reference.sort_unstable();
+        assert_eq!(p50, reference[(reference.len() - 1) * 50 / 100]);
+        assert!(p50 <= p99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn finish_full_empty_is_all_zero() {
+        assert_eq!(
+            MeanP50P99::new().finish_full(),
+            (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO)
+        );
     }
 
     #[test]

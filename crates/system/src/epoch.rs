@@ -50,6 +50,7 @@ use alphasim_telemetry::{BreakdownTable, HopBreakdown};
 use alphasim_topology::{NodeId, Topology};
 
 use crate::faulty::{CampaignPattern, PoisonedTx, RecoveryMutation, STUCK_WINDOW_LIMIT};
+use crate::obs::ObsAcc;
 
 /// The horizon used when no live link crosses a region boundary (single
 /// region, or a fully severed cut): effectively infinite, so epochs are
@@ -171,6 +172,8 @@ pub(crate) struct CampaignWorker<T: Topology> {
     pub(crate) ever_drained: Vec<bool>,
     /// Per-region latency attribution, present on collecting runs.
     pub(crate) breakdown: Option<BreakdownTable>,
+    /// Windowed campaign-plane observability, present on observed runs.
+    pub(crate) obs: Option<Box<ObsAcc>>,
     /// Scratch for [`RegionNet`] step emission (reused across events).
     pub(crate) steps: Vec<NetStep<Option<ServedLeg>>>,
 }
@@ -271,6 +274,13 @@ impl<T: Topology + Clone + Send + Sync + 'static> CampaignWorker<T> {
                 }
                 // The leg always rides the response — instrumented and
                 // plain runs schedule byte-identical events.
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.note_zbox_read(
+                        served_from.as_ps(),
+                        home.index(),
+                        acc.completed.since(acc.started).as_ps(),
+                    );
+                }
                 let leg = ServedLeg {
                     request: pkt.acc,
                     zbox_queue_ps: acc.started.since(served_from).as_ps(),
@@ -312,6 +322,9 @@ impl<T: Topology + Clone + Send + Sync + 'static> CampaignWorker<T> {
                 let e2e = at.since(tx.first_issued) + self.cfg.front_overhead;
                 self.latency_samples.push(e2e);
                 self.completions.push((at, tag));
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.note_completion(at.as_ps(), e2e.as_ps());
+                }
                 if let Some(bd) = self.breakdown.as_mut() {
                     charge_completion(
                         bd,
@@ -390,6 +403,9 @@ impl<T: Topology + Clone + Send + Sync + 'static> CampaignWorker<T> {
             },
         );
         self.pending_log.push((at.as_ps(), 1));
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.note_injected(at.as_ps());
+        }
         self.send_request(at, cpu, home, tag, 1, out);
         out.emit(
             self.net.region(),
@@ -486,6 +502,9 @@ impl<T: Topology + Clone + Send + Sync + 'static> CampaignWorker<T> {
                 attempts: tx.attempts,
                 cause,
             });
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.note_poisoned(now.as_ps());
+            }
             if self.cfg.mutation == Some(RecoveryMutation::SkipWindowRefill) {
                 // Deliberately broken: the freed window slot is not refilled.
             } else {
@@ -521,6 +540,9 @@ impl<T: Topology + Clone + Send + Sync + 'static> CampaignWorker<T> {
         let deadline = resend_at + self.cfg.retry.timeout;
         let attempts = self.pending.retry(tag, deadline);
         self.max_attempts = self.max_attempts.max(attempts);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.note_retry(now.as_ps());
+        }
         if self.cfg.monitored && attempts > self.cfg.retry.max_retries + 1 {
             self.violations.push((
                 now.as_ps(),

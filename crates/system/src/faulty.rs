@@ -33,15 +33,16 @@ use alphasim_kernel::shard::EpochExecutor;
 use alphasim_kernel::stats::MeanP99;
 use alphasim_kernel::{DetRng, FaultKind, FaultPlan, SimDuration, SimTime};
 use alphasim_mem::{Zbox, ZboxConfig};
-use alphasim_net::partition::{tb_inject, FabricTables, RegionNet};
+use alphasim_net::partition::{tb_inject, FabricTables, NetHeat, RegionNet};
 use alphasim_net::NetworkSim;
-use alphasim_telemetry::trace::{PID_LINKS, PID_MEMORY, PID_MESSAGES};
+use alphasim_telemetry::trace::{PID_LINKS, PID_MEMORY, PID_MESSAGES, PID_SHARDS};
 use alphasim_telemetry::{BreakdownTable, Registry, TraceSink};
 use alphasim_topology::{NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 use crate::epoch::{fallback_lookahead, CampaignCfg, CampaignGuide, CampaignWorker, Ev};
+use crate::obs::{assemble, CampaignObservability, ObsAcc, ObserveOptions};
 
 /// Consecutive no-progress watchdog windows a monitored run tolerates
 /// before declaring the pending set hung and stopping. Healthy retry
@@ -221,6 +222,8 @@ pub struct CampaignResult {
     /// Mean end-to-end read latency (first issue to data return, across
     /// every retry).
     pub mean_latency: SimDuration,
+    /// Median read latency (same nearest-rank rule as the p99).
+    pub p50_latency: SimDuration,
     /// 99th-percentile read latency.
     pub p99_latency: SimDuration,
     /// Aggregate delivered read bandwidth, GB/s (64 B per completed read),
@@ -355,7 +358,7 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
             cfg.mutation.is_none(),
             "recovery mutations require run_monitored"
         );
-        self.run_inner(cfg, false, false, false).0
+        self.run_inner(cfg, false, false, false, None).0
     }
 
     /// Run the campaign with the always-on invariant monitors armed: hung
@@ -370,7 +373,7 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
         self,
         cfg: &FaultCampaignConfig,
     ) -> (CampaignResult, CampaignTelemetry, MonitorReport) {
-        let (result, telemetry, report) = self.run_inner(cfg, true, false, true);
+        let (result, telemetry, report, _) = self.run_inner(cfg, true, false, true, None);
         (
             result,
             telemetry.expect("collection was requested"),
@@ -392,8 +395,37 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
             cfg.mutation.is_none(),
             "recovery mutations require run_monitored"
         );
-        let (result, telemetry, _) = self.run_inner(cfg, true, trace, false);
+        let (result, telemetry, _, _) = self.run_inner(cfg, true, trace, false, None);
         (result, telemetry.expect("collection was requested"))
+    }
+
+    /// Run the campaign with full time-resolved observability on top of
+    /// the instrumented telemetry: fixed-width windowed metric timelines,
+    /// P×Q topology heatmaps, per-completion latency pairs, and the
+    /// epoch-parallel profiler's per-shard spans (exported as Chrome-trace
+    /// lanes when `opts.trace` is set).
+    ///
+    /// Like every other collector, observability never perturbs the
+    /// simulation: the [`CampaignResult`] and every sim-time field are
+    /// byte-identical to a plain [`run`](Self::run), at any
+    /// `threads`/`shards` combination (the epoch profile is the one
+    /// shard-*count*-dependent piece, since it describes the engine
+    /// itself rather than the machine).
+    pub fn run_observed(
+        self,
+        cfg: &FaultCampaignConfig,
+        opts: ObserveOptions,
+    ) -> (CampaignResult, CampaignTelemetry, CampaignObservability) {
+        assert!(
+            cfg.mutation.is_none(),
+            "recovery mutations require run_monitored"
+        );
+        let (result, telemetry, _, obs) = self.run_inner(cfg, true, opts.trace, false, Some(opts));
+        (
+            result,
+            telemetry.expect("collection was requested"),
+            obs.expect("observation was requested"),
+        )
     }
 
     fn run_inner(
@@ -402,10 +434,12 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
         collect: bool,
         trace: bool,
         monitored: bool,
+        observe: Option<ObserveOptions>,
     ) -> (
         CampaignResult,
         Option<CampaignTelemetry>,
         Option<MonitorReport>,
+        Option<CampaignObservability>,
     ) {
         assert!(cfg.outstanding >= 1, "need at least one outstanding read");
         assert!(
@@ -468,6 +502,9 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
                 if trace {
                     net.enable_trace();
                 }
+                if let Some(o) = observe {
+                    net.enable_heat(o.window_ps);
+                }
                 CampaignWorker {
                     cfg: ccfg.clone(),
                     cpus: cpus.clone(),
@@ -487,6 +524,7 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
                     zboxes,
                     ever_drained: vec![false; ncpus],
                     breakdown: collect.then(BreakdownTable::default),
+                    obs: observe.map(|o| Box::new(ObsAcc::new(o.window_ps, node_count))),
                     steps: Vec::new(),
                 }
             })
@@ -495,6 +533,9 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
             .conservative_lookahead()
             .unwrap_or_else(fallback_lookahead);
         let mut exec = EpochExecutor::new(workers, lookahead, threads);
+        if let Some(o) = observe {
+            exec.enable_profile(o.wall);
+        }
         // Prime every CPU's issue window at time zero. Faults scheduled at
         // zero strike first (the guide runs before any event fires), just
         // as the sequential engine ordered them.
@@ -524,6 +565,7 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
             rerouted: 0,
         };
         let epoch_report = exec.run_guided(&mut guide);
+        let profile = exec.take_profile();
         let mut workers = exec.into_workers();
 
         // ---- canonical aggregation ------------------------------------
@@ -638,7 +680,7 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
             );
         }
 
-        let (mean_latency, p99_latency) = latencies.finish();
+        let (mean_latency, p50_latency, p99_latency) = latencies.finish_full();
         let elapsed = last_delivery.since(SimTime::ZERO);
         let delivered_gbps = if elapsed > SimDuration::ZERO {
             completed as f64 * 64.0 / elapsed.as_secs() / 1e9
@@ -678,6 +720,20 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
                 "sim.events_processed",
                 epoch_report.processed.iter().sum::<u64>(),
             );
+            // Engine-shape metrics are registered only when the config
+            // pins the knob: a CLI-resolved shard or thread count must
+            // never leak into byte-checked artifacts. Gauges (max-merge),
+            // so merging same-shape campaign registries stays idempotent.
+            if cfg.shards != 0 {
+                registry.gauge_max("engine.shards", shards as u64);
+                for (i, &peak) in epoch_report.shard_peaks.iter().enumerate() {
+                    registry
+                        .gauge_max(&format!("engine.shard{i:02}.peak_queue_depth"), peak as u64);
+                }
+            }
+            if cfg.threads != 0 {
+                registry.gauge_max("engine.threads", threads as u64);
+            }
             // Pre-charge the stage rows so the merged table's row order is
             // the pipeline order, never completion order.
             let mut breakdown = BreakdownTable::default();
@@ -704,6 +760,33 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
                 for w in workers.iter_mut() {
                     if let Some(region_sink) = w.net.take_trace() {
                         sink.merge_from(region_sink);
+                    }
+                }
+                // One profiler lane per shard: each epoch a shard worked
+                // in becomes a complete event spanning the epoch's
+                // sim-time bounds, carrying its event counts.
+                if let Some(p) = profile.as_ref() {
+                    sink.name_process(PID_SHARDS, "engine: epoch shards");
+                    for s in 0..p.shard_count() {
+                        sink.name_thread(PID_SHARDS, s as u32, &format!("shard {s}"));
+                    }
+                    for sample in &p.samples {
+                        for (s, (&ev, &mg)) in
+                            sample.processed.iter().zip(&sample.merged).enumerate()
+                        {
+                            if ev == 0 && mg == 0 {
+                                continue;
+                            }
+                            sink.complete(
+                                "epoch",
+                                "shard",
+                                PID_SHARDS,
+                                s as u32,
+                                sample.start_ps,
+                                sample.end_ps.saturating_sub(sample.start_ps),
+                                &[("events", ev), ("merged", mg)],
+                            );
+                        }
                     }
                 }
                 sink.canonical_sort();
@@ -734,6 +817,31 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
             violations,
             max_attempts,
         });
+        // Fold the per-region observability accumulators (heat, windows,
+        // latency pairs) in region order and lay them onto the topology
+        // grid; the merged pending-delta log replays into the windowed
+        // pending-depth gauge.
+        let observability = observe.map(|o| {
+            let link_count = guide.master.link_count();
+            let link_from: Vec<usize> = (0..link_count)
+                .map(|id| guide.master.link_meta(id).0.index())
+                .collect();
+            let mut heat = NetHeat::new(o.window_ps, node_count, link_count);
+            let mut acc = ObsAcc::new(o.window_ps, node_count);
+            for w in workers.iter_mut() {
+                heat.merge(&w.net.take_heat().expect("heat was enabled"));
+                acc.merge(w.obs.as_deref().expect("observation was enabled"));
+            }
+            assemble(
+                guide.master.topology(),
+                o.window_ps,
+                heat,
+                acc,
+                profile.expect("profiling was enabled"),
+                &link_from,
+                &deltas,
+            )
+        });
         let result = CampaignResult {
             completed,
             retries,
@@ -744,12 +852,13 @@ impl<T: Topology + Clone + Send + Sync + 'static> FaultCampaign<T> {
             faults_applied: guide.faults_applied,
             crc_retransmits,
             mean_latency,
+            p50_latency,
             p99_latency,
             delivered_gbps,
             steady_gbps,
             elapsed,
         };
-        (result, telemetry, report)
+        (result, telemetry, report, observability)
     }
 }
 
@@ -1182,6 +1291,134 @@ mod tests {
         assert_eq!(plain.mean_latency, monitored.mean_latency);
         assert_eq!(plain.elapsed, monitored.elapsed);
         assert_eq!(t.breakdown.charged_ps(), t.breakdown.end_to_end_ps());
+    }
+
+    /// The observed-run stage: a mid-run cut through bisection traffic, so
+    /// drops, retries, reroutes, and (with a short retry budget) poisons
+    /// all leave windowed footprints.
+    fn observed_cfg(shards: usize, threads: usize) -> FaultCampaignConfig {
+        let mut plan = FaultPlan::new();
+        plan.push(at_us(1.0), FaultKind::LinkDown { a: 0, b: 1 });
+        plan.push(at_us(20.0), FaultKind::LinkUp { a: 0, b: 1 });
+        FaultCampaignConfig {
+            outstanding: 6,
+            requests_per_cpu: 60,
+            pattern: CampaignPattern::Bisection,
+            plan,
+            shards,
+            threads,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_window_sums_equal_registry_totals() {
+        let cfg = observed_cfg(2, 1);
+        let plain = campaign16().run(&cfg);
+        // A deliberately awkward window width (prime picoseconds, aligned
+        // to nothing): windows straddle epoch barriers, fault strikes and
+        // watchdog ticks, and the sums must still balance exactly.
+        let (r, t, obs) = campaign16().run_observed(&cfg, ObserveOptions::windowed(333_337));
+        assert_eq!(plain.completed, r.completed);
+        assert_eq!(plain.retries, r.retries);
+        assert_eq!(plain.dropped, r.dropped);
+        assert_eq!(plain.mean_latency, r.mean_latency);
+        assert_eq!(plain.p99_latency, r.p99_latency);
+        assert_eq!(plain.elapsed, r.elapsed);
+        // Exact-sum: every windowed counter folds back to its registry (or
+        // result) total — nothing double-counted, nothing dropped.
+        let totals = obs.timeline.totals();
+        assert_eq!(
+            totals.counter("campaign.completed"),
+            t.registry.counter("coherence.completed")
+        );
+        assert_eq!(
+            totals.counter("campaign.retries"),
+            t.registry.counter("coherence.retries")
+        );
+        assert_eq!(totals.counter("campaign.poisoned"), r.poisoned.len() as u64);
+        assert_eq!(
+            totals.counter("campaign.zbox_reads"),
+            t.registry.counter("zbox.accesses")
+        );
+        assert_eq!(totals.counter("net.delivered"), obs.node_delivered.total());
+        assert_eq!(totals.counter("campaign.injected"), 16 * 60 + r.retries);
+        assert_eq!(obs.latencies.len() as u64, r.completed);
+        assert_eq!(
+            totals.histogram("campaign.latency_ns").map(|h| h.count()),
+            Some(r.completed)
+        );
+        // The pinned engine shape is registered, making the registry
+        // authoritative for how the artifact was produced.
+        assert_eq!(t.registry.gauge("engine.shards"), 2);
+        assert_eq!(t.registry.gauge("engine.threads"), 1);
+        assert!(t.registry.gauge("engine.shard00.peak_queue_depth") > 0);
+        // The profiler's busy totals are the engine's processed totals.
+        assert_eq!(
+            obs.profile.busy_per_shard().iter().sum::<u64>(),
+            t.registry.counter("sim.events_processed")
+        );
+        assert_eq!(obs.profile.shard_count(), 2);
+        assert!(obs.profile.imbalance_milli() >= 1000);
+        // Heat landed where the traffic went.
+        assert!(obs.link_busy.total() > 0);
+        assert_eq!(obs.zbox_reads.total(), t.registry.counter("zbox.accesses"));
+    }
+
+    #[test]
+    fn observed_windows_are_shard_and_thread_invariant() {
+        let reference =
+            campaign16().run_observed(&observed_cfg(1, 1), ObserveOptions::windowed(20_000_000));
+        for shards in [2usize, 4] {
+            for threads in [1usize, 4] {
+                let (r, _, obs) = campaign16().run_observed(
+                    &observed_cfg(shards, threads),
+                    ObserveOptions::windowed(20_000_000),
+                );
+                assert_eq!(r.completed, reference.0.completed);
+                assert_eq!(r.mean_latency, reference.0.mean_latency);
+                // Every machine-plane observable is byte-identical; only
+                // the profile (which describes the engine itself) differs.
+                assert_eq!(
+                    obs.timeline, reference.2.timeline,
+                    "{shards}x{threads} timeline diverged"
+                );
+                assert_eq!(obs.latencies, reference.2.latencies);
+                assert_eq!(obs.node_delivered, reference.2.node_delivered);
+                assert_eq!(obs.link_busy, reference.2.link_busy);
+                assert_eq!(obs.zbox_reads, reference.2.zbox_reads);
+                assert_eq!(obs.zbox_busy, reference.2.zbox_busy);
+                assert_eq!(obs.link_bytes, reference.2.link_bytes);
+                assert_eq!(obs.link_peak_backlog, reference.2.link_peak_backlog);
+            }
+        }
+    }
+
+    #[test]
+    fn observed_trace_carries_profiler_lanes_and_wall_clock_is_optional() {
+        let opts = ObserveOptions {
+            window_ps: 20_000_000,
+            trace: true,
+            wall: true,
+        };
+        let (r, t, obs) = campaign16().run_observed(&observed_cfg(2, 2), opts);
+        assert_eq!(r.completed + r.poisoned.len() as u64, 16 * 60);
+        let trace = t.trace.expect("tracing was requested");
+        assert!(!trace.is_empty());
+        assert!(obs.profile.wall_clock());
+        for s in &obs.profile.samples {
+            assert_eq!(s.wall_ns.as_ref().map(Vec::len), Some(2));
+        }
+        // Wall measurement never leaks into sim-time fields: the same run
+        // without it produces the identical profile modulo wall_ns.
+        let (_, _, plain) =
+            campaign16().run_observed(&observed_cfg(2, 2), ObserveOptions::windowed(20_000_000));
+        assert_eq!(plain.profile.epochs(), obs.profile.epochs());
+        for (a, b) in plain.profile.samples.iter().zip(&obs.profile.samples) {
+            assert_eq!((a.start_ps, a.end_ps), (b.start_ps, b.end_ps));
+            assert_eq!(a.processed, b.processed);
+            assert_eq!(a.merged, b.merged);
+        }
     }
 
     #[test]

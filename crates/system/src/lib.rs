@@ -39,6 +39,7 @@ mod gs1280;
 mod gs320;
 mod io;
 pub mod loadtest;
+pub mod obs;
 pub mod path;
 
 pub use calibration::{Calibration, MachineKind};
@@ -55,3 +56,4 @@ pub use faulty::{
 pub use gs1280::{FabricTopo, Gs1280, Gs1280Builder};
 pub use gs320::Gs320;
 pub use io::IoSubsystem;
+pub use obs::{CampaignObservability, ObserveOptions};

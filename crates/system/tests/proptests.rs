@@ -143,7 +143,44 @@ fn campaign_fingerprint(
     assert!(result.completed > 0, "campaign completed nothing");
     assert!(!result.faults_applied.is_empty(), "no fault ever struck");
     let clean = report.is_clean();
-    (format!("{result:?}|{telemetry:?}|{report:?}"), clean)
+    // The registry's `engine.*` entries record the run's own parallelism
+    // knobs (shard/thread counts, per-shard queue peaks) and so differ
+    // across shard counts by construction; redact them so the fingerprint
+    // covers exactly the machine-plane outputs that must be invariant.
+    let registry = redact_engine_plane(telemetry.registry.to_json());
+    let registry = serde_json::to_string(&registry).unwrap();
+    (
+        format!(
+            "{result:?}|{registry}|{:?}|{:?}",
+            telemetry.breakdown, report
+        ),
+        clean,
+    )
+}
+
+/// Drop `engine.*` metrics (shard/thread-count dependent by design) from a
+/// registry JSON snapshot, leaving every machine-plane metric intact.
+fn redact_engine_plane(registry: serde_json::Value) -> serde_json::Value {
+    use serde_json::Value;
+    match registry {
+        Value::Object(sections) => Value::Object(
+            sections
+                .into_iter()
+                .map(|(section, body)| {
+                    let body = match body {
+                        Value::Object(map) => Value::Object(
+                            map.into_iter()
+                                .filter(|(name, _)| !name.starts_with("engine."))
+                                .collect(),
+                        ),
+                        other => other,
+                    };
+                    (section, body)
+                })
+                .collect(),
+        ),
+        other => other,
+    }
 }
 
 /// The full Chrome trace (every message lifetime, link occupancy, and DRAM

@@ -1,0 +1,227 @@
+//! Topology-indexed accumulators rendered as P×Q grids.
+//!
+//! The paper's Xmesh tool shows *where* on the torus the machine is busy;
+//! a [`Heatmap`] is the deterministic substrate for that view: one `u64`
+//! cell per node of a `cols × rows` grid, updated by node index and merged
+//! element-wise. Every producer (per-region network slices, per-node Zbox
+//! accounting) owns a disjoint set of cells, so element-wise addition is
+//! an exact merge — the combined grid is identical at any shard count.
+//! This crate knows nothing of topologies; callers map `NodeId` indexes to
+//! cells with the usual row-major `index = y * cols + x` convention.
+
+use std::collections::BTreeMap;
+
+use serde_json::{Number, Value};
+
+/// A row-major grid of `u64` accumulators over a `cols × rows` torus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heatmap {
+    cols: usize,
+    rows: usize,
+    cells: Vec<u64>,
+}
+
+impl Heatmap {
+    /// An all-zero `cols × rows` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "heatmap needs both dimensions");
+        Heatmap {
+            cols,
+            rows,
+            cells: vec![0; cols * rows],
+        }
+    }
+
+    /// A grid initialized from row-major per-node values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not exactly `cols * rows` long.
+    pub fn from_values(cols: usize, rows: usize, values: &[u64]) -> Self {
+        let mut h = Heatmap::new(cols, rows);
+        assert_eq!(
+            values.len(),
+            h.cells.len(),
+            "value count must fill the grid"
+        );
+        h.cells.copy_from_slice(values);
+        h
+    }
+
+    /// Grid width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Add `delta` to the cell of row-major `node` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the grid.
+    pub fn add(&mut self, node: usize, delta: u64) {
+        self.cells[node] += delta;
+    }
+
+    /// The cell value at row-major `node` index.
+    pub fn cell(&self, node: usize) -> u64 {
+        self.cells[node]
+    }
+
+    /// The cell value at grid coordinates.
+    pub fn at(&self, x: usize, y: usize) -> u64 {
+        self.cells[y * self.cols + x]
+    }
+
+    /// Sum over all cells.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    /// The hottest cell's value (0 for an untouched grid).
+    pub fn peak(&self) -> u64 {
+        self.cells.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Row-major index of the hottest cell, lowest index on ties.
+    pub fn peak_cell(&self) -> usize {
+        let peak = self.peak();
+        self.cells.iter().position(|&v| v == peak).unwrap_or(0)
+    }
+
+    /// Element-wise addition. Exact when producers own disjoint cells
+    /// (each torus node and each directed link has exactly one owning
+    /// region), which is what makes the merged grid shard-count-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids have different dimensions.
+    pub fn merge(&mut self, other: &Heatmap) {
+        assert_eq!(
+            (self.cols, self.rows),
+            (other.cols, other.rows),
+            "merging heatmaps of different dimensions"
+        );
+        for (c, o) in self.cells.iter_mut().zip(&other.cells) {
+            *c += o;
+        }
+    }
+
+    /// JSON snapshot: dimensions plus the grid as an array of rows (each
+    /// an array of integers), matching the torus layout top row first.
+    pub fn to_json(&self) -> Value {
+        let grid: Vec<Value> = self
+            .cells
+            .chunks(self.cols)
+            .map(|row| {
+                Value::Array(
+                    row.iter()
+                        .map(|&v| Value::Number(Number::PosInt(v)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert(
+            "cols".to_owned(),
+            Value::Number(Number::PosInt(self.cols as u64)),
+        );
+        root.insert(
+            "rows".to_owned(),
+            Value::Number(Number::PosInt(self.rows as u64)),
+        );
+        root.insert("grid".to_owned(), Value::Array(grid));
+        Value::Object(root)
+    }
+
+    /// ASCII rendering: one digit per cell, the cell's value scaled to
+    /// 0–9 against the grid peak (`.` for exactly zero). The human-eye
+    /// view `perfsight` prints under each grid's title.
+    pub fn to_ascii(&self) -> String {
+        let peak = self.peak();
+        let mut out = String::with_capacity(self.rows * (self.cols + 1));
+        for row in self.cells.chunks(self.cols) {
+            for &v in row {
+                if v == 0 {
+                    out.push('.');
+                } else if peak == 0 {
+                    out.push('0');
+                } else {
+                    let shade = (v * 9).div_ceil(peak).min(9);
+                    out.push(char::from(b'0' + shade as u8));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "both dimensions")]
+    fn zero_dimension_is_rejected() {
+        Heatmap::new(4, 0);
+    }
+
+    #[test]
+    fn add_and_read_back_row_major() {
+        let mut h = Heatmap::new(4, 2);
+        h.add(0, 5);
+        h.add(5, 7); // (x=1, y=1)
+        assert_eq!(h.cell(0), 5);
+        assert_eq!(h.at(1, 1), 7);
+        assert_eq!(h.total(), 12);
+        assert_eq!(h.peak(), 7);
+        assert_eq!(h.peak_cell(), 5);
+    }
+
+    #[test]
+    fn merge_is_element_wise_and_commutative() {
+        let a = Heatmap::from_values(2, 2, &[1, 2, 3, 4]);
+        let b = Heatmap::from_values(2, 2, &[10, 0, 0, 40]);
+        let mut ab = Heatmap::new(2, 2);
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Heatmap::new(2, 2);
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, Heatmap::from_values(2, 2, &[11, 2, 3, 44]));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensions")]
+    fn mismatched_merge_is_rejected() {
+        let mut a = Heatmap::new(2, 2);
+        a.merge(&Heatmap::new(4, 4));
+    }
+
+    #[test]
+    fn json_is_rows_of_integers() {
+        let h = Heatmap::from_values(2, 2, &[0, 1, 2, 3]);
+        let s = serde_json::to_string(&h.to_json()).expect("serialize");
+        assert!(s.contains("\"cols\":2"), "{s}");
+        assert!(s.contains("\"grid\":[[0,1],[2,3]]"), "{s}");
+    }
+
+    #[test]
+    fn ascii_scales_to_peak_and_marks_zero() {
+        let h = Heatmap::from_values(4, 1, &[0, 1, 5, 10]);
+        let art = h.to_ascii();
+        assert_eq!(art, ".159\n");
+        // An all-zero grid renders as dots only.
+        assert_eq!(Heatmap::new(2, 1).to_ascii(), "..\n");
+    }
+}

@@ -14,6 +14,10 @@
 //!   latency decomposition built from it.
 //! * [`TraceSink`] — a Chrome `chrome://tracing` / Perfetto-compatible
 //!   event trace of message lifetimes and router occupancy.
+//! * [`Timeline`] / [`Heatmap`] — the time axis and the space axis:
+//!   fixed-width sim-time-windowed registries with the same commutative
+//!   merge, and P×Q topology grids merged element-wise, so *when* and
+//!   *where* are as byte-reproducible as *how much*.
 //!
 //! Everything is plain data updated through `&mut`: the zero-cost-when-off
 //! facade is an `Option<...>` at each instrumentation site, so disabled
@@ -24,14 +28,18 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod heatmap;
 pub mod hist;
 pub mod registry;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
+pub use heatmap::Heatmap;
 pub use hist::Log2Histogram;
 pub use registry::Registry;
 pub use span::{BreakdownTable, HopBreakdown};
+pub use timeline::Timeline;
 pub use trace::TraceSink;
 
 /// Process-global high-water gauges.

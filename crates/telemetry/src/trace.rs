@@ -18,6 +18,9 @@ pub const PID_MESSAGES: u32 = 1;
 pub const PID_LINKS: u32 = 2;
 /// Conventional process id for memory-controller (Zbox) service lanes.
 pub const PID_MEMORY: u32 = 3;
+/// Conventional process id for the epoch-parallel engine's per-shard
+/// profiler lanes (one thread row per region shard).
+pub const PID_SHARDS: u32 = 4;
 
 /// One complete ("X") duration event.
 #[derive(Debug, Clone, PartialEq, Eq)]
